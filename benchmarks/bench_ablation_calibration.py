@@ -1,0 +1,89 @@
+"""Ablation A2 — calibrated vs default cost factors.
+
+The Cost Estimator fits the Figure 6 factors to the machine (after Du et
+al.).  This ablation quantifies what calibration buys: how often the
+optimizer's choice agrees with the wall-clock-best enumerated plan, with
+and without calibration.
+"""
+
+from harness import print_series, run_spec
+
+from repro.core.tango import Tango
+from repro.workloads import queries
+
+
+def _best_by_wall_clock(tango, specs):
+    measured = [
+        (run_spec(tango, spec).seconds, spec.name)
+        for spec in specs
+        if spec.plan is not None
+    ]
+    return min(measured)
+
+
+def _agreement(tango, cases):
+    hits = 0
+    rows = []
+    for label, initial, specs in cases:
+        chosen_cost = tango.optimize(initial)
+        import time
+
+        samples = []
+        for _ in range(2):  # best of two, against scheduler noise
+            begin = time.perf_counter()
+            tango.execute_plan(chosen_cost.plan)
+            samples.append(time.perf_counter() - begin)
+        chosen_seconds = min(samples)
+        best_seconds, best_name = _best_by_wall_clock(tango, specs)
+        close = chosen_seconds <= best_seconds * 1.75
+        hits += close
+        rows.append(
+            [label, f"{chosen_seconds:.4f}s", f"{best_seconds:.4f}s ({best_name})",
+             "yes" if close else "NO"]
+        )
+    return hits, rows
+
+
+def _cases(db):
+    cases = [("Q1", queries.query1_initial_plan(db), queries.query1_plans(db))]
+    for end in ("1990-01-01", "1998-01-01"):
+        cases.append(
+            (f"Q2@{end[:4]}", queries.query2_initial_plan(db, end),
+             queries.query2_plans(db, end))
+        )
+    for bound in ("1990-01-01", "1998-01-01"):
+        cases.append(
+            (f"Q3@{bound[:4]}", queries.query3_initial_plan(db, bound),
+             queries.query3_plans(db, bound))
+        )
+    return cases
+
+
+def test_calibration_ablation(benchmark, bench_db):
+    def measure():
+        calibrated = Tango(bench_db)
+        calibrated.calibrate(sizes=(500, 1500))
+        default = Tango(bench_db)  # stock CostFactors()
+        cases = _cases(bench_db)
+        hits_cal, rows_cal = _agreement(calibrated, cases)
+        hits_def, rows_def = _agreement(default, cases)
+        return (hits_cal, rows_cal), (hits_def, rows_def), len(cases)
+
+    (hits_cal, rows_cal), (hits_def, rows_def), total = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print_series(
+        "A2: calibrated factors — chosen plan vs wall-clock best",
+        ["case", "chosen", "best (name)", "within 1.5x"],
+        rows_cal,
+    )
+    print_series(
+        "A2: default factors — chosen plan vs wall-clock best",
+        ["case", "chosen", "best (name)", "within 1.5x"],
+        rows_def,
+    )
+    print(f"\nagreement: calibrated {hits_cal}/{total}, default {hits_def}/{total}")
+    # Single-run wall-clock classification is noisy; allow one case of slack
+    # in the head-to-head, but the calibrated optimizer must track reality.
+    assert hits_cal >= hits_def - 1, "calibration must not reduce agreement"
+    assert hits_cal >= total - 1, "calibrated optimizer should track reality"

@@ -1,0 +1,118 @@
+"""Figure 10 — Query 2 (selection + temporal aggregation + temporal join),
+six plans, sweeping the selection time-period end from 1984 to 2000.
+
+Paper findings to reproduce:
+
+* Figure 10(a) (end ≤ 1990, highly selective): running times are similar
+  and small; Plans 4 and 5 perform poorly — Plan 4 because ``TRANSFER^M``
+  ships the whole base relation, Plan 5 because the unreduced aggregation
+  argument is expensive;
+* Figure 10(b) (end ≥ 1991): times grow rapidly; Plan 6 (all in DBMS)
+  deteriorates fastest; Plan 1 deteriorates faster than Plans 2/3 because
+  of its ``TRANSFER^D``;
+* most POSITION data is concentrated after 1992, so the growth starts
+  there.
+"""
+
+import pytest
+
+from harness import Measurement, fmt, print_series, run_spec
+
+from repro.workloads.queries import query2_plans
+
+FIGURE_10A_ENDS = ("1984-01-01", "1986-01-01", "1988-01-01", "1990-01-01")
+FIGURE_10B_ENDS = ("1992-01-01", "1994-01-01", "1996-01-01", "1998-01-01", "2000-01-01")
+
+
+@pytest.mark.parametrize("plan_index", list(range(6)),
+                         ids=["P1", "P2", "P3", "P4", "P5", "P6"])
+def test_query2_plan_at_wide_window(benchmark, tango, plan_index):
+    """Per-plan timing at the 1996 window end (pytest-benchmark)."""
+    spec = query2_plans(tango.db, "1996-01-01")[plan_index]
+    benchmark.extra_info["plan"] = spec.description
+    measurement = benchmark.pedantic(
+        lambda: run_spec(tango, spec), rounds=3, iterations=1
+    )
+    assert measurement.rows >= 0
+
+
+def _sweep(tango, ends):
+    table_rows = []
+    results: dict[tuple[str, str], Measurement] = {}
+    for end in ends:
+        measurements = [
+            run_spec(tango, spec) for spec in query2_plans(tango.db, end)
+        ]
+        for measurement in measurements:
+            results[(end, measurement.plan)] = measurement
+        table_rows.append([end[:4]] + [fmt(m.seconds) for m in measurements])
+    return table_rows, results
+
+
+def test_figure10a_selective_region(benchmark, tango):
+    """Figure 10(a): end ≤ 1990."""
+    table_rows, results = benchmark.pedantic(
+        lambda: _sweep(tango, FIGURE_10A_ENDS), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 10(a): Query 2, selective windows",
+        ["end", "P1", "P2", "P3", "P4", "P5", "P6"],
+        table_rows,
+    )
+    # Plans 4 and 5 pay for moving/aggregating the whole relation even when
+    # the window is tiny: they must be the slow ones in this region.
+    for end in FIGURE_10A_ENDS:
+        fast = min(results[(end, f"Q2-P{i}")].seconds for i in (1, 2, 3))
+        p4 = results[(end, "Q2-P4")].seconds
+        p5 = results[(end, "Q2-P5")].seconds
+        assert max(p4, p5) > fast, f"P4/P5 should trail at {end}"
+
+
+def test_figure10b_relaxed_region(benchmark, tango):
+    """Figure 10(b): end ≥ 1991 — rapid growth, Plan 6 deteriorates."""
+    table_rows, results = benchmark.pedantic(
+        lambda: _sweep(tango, FIGURE_10B_ENDS), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 10(b): Query 2, relaxed windows",
+        ["end", "P1", "P2", "P3", "P4", "P5", "P6"],
+        table_rows,
+    )
+    last = FIGURE_10B_ENDS[-1]
+    first = FIGURE_10B_ENDS[0]
+    # Times increase rapidly after 1992 (data concentrated there).
+    assert results[(last, "Q2-P2")].seconds > 2 * results[(first, "Q2-P2")].seconds
+    # Plan 6 (TAGGR^D) deteriorates fastest as the aggregation argument grows.
+    p6 = results[(last, "Q2-P6")].seconds
+    p2 = results[(last, "Q2-P2")].seconds
+    assert p6 > 2 * p2, "all-DBMS plan should deteriorate fastest"
+    # Plans 2 and 3 stay the front-runners in the relaxed region.
+    best = min(results[(last, f"Q2-P{i}")].seconds for i in range(1, 7))
+    assert min(p2, results[(last, "Q2-P3")].seconds) <= best * 1.5
+
+
+def test_figure10_optimizer_tracks_best_region(benchmark, tango):
+    """With histograms, the paper's optimizer always returned Plan 2; check
+    ours keeps aggregation + join in the middleware across the sweep."""
+
+    def choices():
+        from repro.algebra.operators import Location, TemporalAggregate, TemporalJoin
+        from repro.workloads.queries import query2_initial_plan
+
+        picked = []
+        for end in FIGURE_10A_ENDS + FIGURE_10B_ENDS:
+            result = tango.optimize(query2_initial_plan(tango.db, end))
+            taggr_in_mw = any(
+                node.location is Location.MIDDLEWARE
+                for node in result.plan.walk()
+                if isinstance(node, TemporalAggregate)
+            )
+            picked.append((end[:4], taggr_in_mw))
+        return picked
+
+    picked = benchmark.pedantic(choices, rounds=1, iterations=1)
+    print_series("Query 2 optimizer choices", ["end", "TAGGR in middleware"],
+                 [list(row) for row in picked])
+    in_mw = [flag for _, flag in picked]
+    # The wide windows — where it matters — must go to the middleware.
+    assert all(in_mw[-3:])

@@ -1,0 +1,104 @@
+"""Figure 11(a) — Query 3 (temporal self-join), two plans, sweeping the
+maximum allowed time-period start.
+
+Paper findings to reproduce:
+
+* as the bound relaxes, Plan 2 (temporal join in the middleware) pulls
+  ahead of Plan 1 (all in the DBMS), because the join result outgrows the
+  arguments and Plan 1 pays DBMS sorting plus transfer of that result;
+* "the difference in performance becomes obvious when the maximum
+  time-period start reaches year 1996, since about 65 % of the POSITION
+  tuples have time-periods starting at 1995 or later".
+"""
+
+import pytest
+
+from harness import Measurement, fmt, print_series, run_spec
+
+from repro.workloads.queries import query3_initial_plan, query3_plans
+
+BOUNDS = (
+    "1988-01-01", "1990-01-01", "1992-01-01", "1994-01-01",
+    "1995-01-01", "1996-01-01", "1997-01-01", "1998-01-01", "1999-01-01",
+)
+
+
+@pytest.mark.parametrize("plan_index", [0, 1], ids=["P1", "P2"])
+def test_query3_plan_at_late_bound(benchmark, tango, plan_index):
+    spec = query3_plans(tango.db, "1998-01-01")[plan_index]
+    benchmark.extra_info["plan"] = spec.description
+    measurement = benchmark.pedantic(
+        lambda: run_spec(tango, spec), rounds=3, iterations=1
+    )
+    assert measurement.rows > 0
+
+
+def test_figure11a_series(benchmark, tango):
+    def sweep():
+        table_rows = []
+        results: dict[tuple[str, str], Measurement] = {}
+        for bound in BOUNDS:
+            measurements = [
+                run_spec(tango, spec) for spec in query3_plans(tango.db, bound)
+            ]
+            for measurement in measurements:
+                results[(bound, measurement.plan)] = measurement
+            table_rows.append(
+                [bound[:4]]
+                + [fmt(m.seconds) for m in measurements]
+                + [measurements[0].rows]
+            )
+        return table_rows, results
+
+    table_rows, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Figure 11(a): Query 3 running times",
+        ["bound", "P1 (DBMS)", "P2 (TJOIN^M)", "result rows"],
+        table_rows,
+    )
+    late = BOUNDS[-1]
+    p1 = results[(late, "Q3-P1")]
+    p2 = results[(late, "Q3-P2")]
+    # Plan 2 clearly ahead once most tuples qualify.
+    assert p2.seconds < p1.seconds
+    assert p2.ticks < p1.ticks
+    # The gap widens along the sweep: compare relative gaps early vs late.
+    early = BOUNDS[0]
+    early_gap = results[(early, "Q3-P1")].seconds - results[(early, "Q3-P2")].seconds
+    late_gap = p1.seconds - p2.seconds
+    assert late_gap > early_gap
+
+
+def test_figure11a_optimizer_flips_to_middleware(benchmark, tango):
+    """The paper's optimizer returned Plan 1 for the first six bounds and
+    Plan 2 for the last three.  With our calibrated in-process transfer
+    costs the flip point sits earlier (transfers are cheaper than over
+    Oracle's client network — see EXPERIMENTS.md), but the late bounds must
+    land in the middleware and choices must be monotone."""
+
+    def choices():
+        from repro.algebra.operators import Location, TemporalJoin
+
+        picked = []
+        for bound in BOUNDS:
+            result = tango.optimize(query3_initial_plan(tango.db, bound))
+            location = next(
+                node.location
+                for node in result.plan.walk()
+                if isinstance(node, TemporalJoin)
+            )
+            picked.append((bound[:4], location is Location.MIDDLEWARE))
+        return picked
+
+    picked = benchmark.pedantic(choices, rounds=1, iterations=1)
+    print_series(
+        "Query 3 optimizer choices",
+        ["bound", "TJOIN in middleware"],
+        [list(row) for row in picked],
+    )
+    flags = [flag for _, flag in picked]
+    assert all(flags[-2:]), "late bounds must run the join in the middleware"
+    assert not flags[0], "the most selective bound should stay in the DBMS"
+    # Once the optimizer moves to the middleware it should not flip back.
+    first_mw = flags.index(True) if True in flags else len(flags)
+    assert all(flags[first_mw:])

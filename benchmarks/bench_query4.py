@@ -1,0 +1,107 @@
+"""Figure 11(b) — Query 4 (regular join of POSITION and EMPLOYEE), three
+plans, varying the POSITION size.
+
+Paper findings to reproduce:
+
+* Plan 2 (DBMS join) yields the best performance while "the other two
+  plans are competitive";
+* "the DBMS is faster when performing queries involving regular
+  operations";
+* the closeness of Plan 1 (middleware sort-merge) and Plan 3 (DBMS
+  sort-merge) indicates the middleware's run-time overhead is small;
+* the optimizer sends the join to the DBMS (and treats Plans 2/3 as one,
+  having a single generic DBMS join formula).
+"""
+
+import pytest
+
+from harness import Measurement, fmt, print_series, run_spec
+
+from repro.workloads.queries import query4_initial_plan, query4_plans
+from repro.workloads.uis import POSITION_VARIANTS
+
+
+@pytest.mark.parametrize("plan_index", [0, 1, 2], ids=["P1-MW", "P2-NL", "P3-SM"])
+def test_query4_plan_at_full_size(benchmark, tango, plan_index):
+    spec = query4_plans(tango.db, "POSITION")[plan_index]
+    benchmark.extra_info["plan"] = spec.description
+    measurement = benchmark.pedantic(
+        lambda: run_spec(tango, spec), rounds=3, iterations=1
+    )
+    assert measurement.rows > 0
+
+
+def test_figure11b_series(benchmark, tango):
+    def sweep():
+        table_rows = []
+        results: dict[tuple[int, str], Measurement] = {}
+        for nominal in POSITION_VARIANTS:
+            table = f"POSITION_{nominal}"
+            measurements = [
+                run_spec(tango, spec) for spec in query4_plans(tango.db, table)
+            ]
+            for measurement in measurements:
+                results[(nominal, measurement.plan)] = measurement
+            table_rows.append([nominal] + [fmt(m.seconds) for m in measurements])
+        return table_rows, results
+
+    table_rows, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Figure 11(b): Query 4 running times",
+        ["tuples", "P1 (JOIN^M)", "P2 (NL^D)", "P3 (SM^D)"],
+        table_rows,
+    )
+    largest = POSITION_VARIANTS[-1]
+    specs = query4_plans(tango.db, f"POSITION_{largest}")
+    # Best-of-3 timings at the largest size for the shape assertions —
+    # single-run spikes (GC, scheduler) would make them flaky.
+    p1 = min(run_spec(tango, specs[0]).seconds for _ in range(3))
+    p2 = min(run_spec(tango, specs[1]).seconds for _ in range(3))
+    p3 = min(run_spec(tango, specs[2]).seconds for _ in range(3))
+    __ = results
+    # The two sort-merge variants (middleware vs DBMS) must be competitive:
+    # that is the paper's "TANGO overhead is insignificant" observation.
+    ratio = max(p1, p3) / max(1e-9, min(p1, p3))
+    assert ratio < 5.0, f"sort-merge variants diverged by {ratio:.1f}x"
+    # The best DBMS plan is at least competitive with the middleware plan.
+    assert min(p2, p3) < p1 * 2.0
+
+
+def test_figure11b_optimizer_sends_join_to_dbms(benchmark, tango):
+    """For Query 4 all plans are competitive (the paper's own finding), so
+    the estimated costs of the middleware and DBMS joins sit within a few
+    percent of each other.  The claims we hold the optimizer to: the DBMS
+    placement dominates across the size sweep, and whatever it picks
+    executes within a small factor of the best enumerated plan."""
+
+    def choices():
+        import time
+
+        from repro.algebra.operators import Join, Location
+
+        picked = []
+        overheads = []
+        for nominal in POSITION_VARIANTS:
+            table = f"POSITION_{nominal}"
+            result = tango.optimize(query4_initial_plan(tango.db, table))
+            location = next(
+                node.location
+                for node in result.plan.walk()
+                if isinstance(node, Join)
+            )
+            picked.append(location is Location.DBMS)
+            begin = time.perf_counter()
+            tango.execute_plan(result.plan)
+            chosen_seconds = time.perf_counter() - begin
+            best = min(
+                run_spec(tango, spec).seconds
+                for spec in query4_plans(tango.db, table)
+            )
+            overheads.append(chosen_seconds / max(best, 1e-9))
+        return picked, overheads
+
+    picked, overheads = benchmark.pedantic(choices, rounds=1, iterations=1)
+    assert sum(picked) >= len(picked) - 2, (
+        f"DBMS placement should dominate, got {picked}"
+    )
+    assert sorted(overheads)[len(overheads) // 2] < 6.0

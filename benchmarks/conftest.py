@@ -1,0 +1,36 @@
+"""Benchmark fixtures: one scaled UIS database and a calibrated Tango,
+shared across all figure benchmarks."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_SCALE  # noqa: E402
+
+from repro.core.tango import Tango  # noqa: E402
+from repro.dbms.database import MiniDB  # noqa: E402
+from repro.workloads.uis import load_uis  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_db() -> MiniDB:
+    db = MiniDB()
+    load_uis(db, scale=BENCH_SCALE)
+    return db
+
+
+@pytest.fixture(scope="session")
+def tango(bench_db) -> Tango:
+    middleware = Tango(bench_db)
+    middleware.calibrate(sizes=(500, 1500), repeats=5)
+    return middleware
+
+
+@pytest.fixture(scope="session")
+def uncalibrated_tango(bench_db) -> Tango:
+    return Tango(bench_db)

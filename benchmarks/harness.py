@@ -1,0 +1,64 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark measures *both* currencies described in DESIGN.md:
+
+* wall-clock seconds of the pure-Python implementation;
+* MiniDB's deterministic simulated ticks (I/O-weighted work units).
+
+The relative plan ordering — who wins, where the crossover falls — is the
+paper-facing result; absolute values depend on the machine and on
+``REPRO_BENCH_SCALE`` (fraction of the paper's relation cardinalities,
+default 0.02 ≈ 1,677 POSITION tuples).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.core.tango import Tango
+from repro.workloads.queries import PlanSpec
+
+#: Fraction of the paper's cardinalities the benchmark dataset uses.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@dataclass
+class Measurement:
+    """One plan execution: timing, simulated work, and the result size."""
+
+    plan: str
+    seconds: float
+    ticks: int
+    rows: int
+
+
+def run_spec(tango: Tango, spec: PlanSpec) -> Measurement:
+    """Execute one enumerated plan (algebra tree or raw hinted SQL)."""
+    meter = tango.db.meter
+    before_ticks = meter.ticks
+    begin = time.perf_counter()
+    if spec.plan is not None:
+        rows = tango.execute_plan(spec.plan).rows
+    else:
+        assert spec.sql is not None
+        rows = tango.db.query(spec.sql)
+    seconds = time.perf_counter() - begin
+    return Measurement(spec.name, seconds, meter.ticks - before_ticks, len(rows))
+
+
+def print_series(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Print one figure's data series as an aligned text table."""
+    print(f"\n== {title} (scale={BENCH_SCALE}) ==")
+    widths = [
+        max(len(str(header[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def fmt(seconds: float) -> str:
+    return f"{seconds:.4f}s"

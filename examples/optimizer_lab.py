@@ -1,0 +1,77 @@
+"""Optimizer lab: watch the middleware apportion work adaptively.
+
+Loads a scaled UIS dataset and shows the optimizer's decisions for the
+paper's Query 3 (temporal self-join) across a selectivity sweep, then
+re-runs the same decisions under artificially expensive transfers — the
+regime of a networked DBMS — to demonstrate the crossover the middleware's
+cost-based optimization is built around.
+
+Run:  python examples/optimizer_lab.py
+"""
+
+from dataclasses import replace
+
+from repro import MiniDB, Tango
+from repro.algebra.operators import Location, TemporalJoin
+from repro.optimizer.search import Optimizer
+from repro.workloads.queries import query3_initial_plan, query3_plans
+from repro.workloads.uis import load_uis
+
+BOUNDS = ("1990-01-01", "1993-01-01", "1995-01-01", "1997-01-01", "1999-01-01")
+
+
+def tjoin_location(plan) -> str:
+    node = next(n for n in plan.walk() if isinstance(n, TemporalJoin))
+    return "middleware" if node.location is Location.MIDDLEWARE else "DBMS"
+
+
+def main() -> None:
+    db = MiniDB()
+    print("Loading scaled UIS dataset...")
+    load_uis(db, scale=0.01, with_variants=False)
+    tango = Tango(db)
+    print("Calibrating cost factors on this machine...")
+    tango.calibrate(sizes=(500,))
+
+    print("\nQuery 3: pairs of employees sharing a position, for positions")
+    print("starting before a bound.  Where does the temporal join run?\n")
+    print(f"{'bound':<12} {'choice':<12} {'est cost':>10} {'P1 (DBMS)':>10} "
+          f"{'P2 (MW)':>10}")
+    for bound in BOUNDS:
+        result = tango.optimize(query3_initial_plan(db, bound))
+        import time
+
+        timings = []
+        for spec in query3_plans(db, bound):
+            begin = time.perf_counter()
+            tango.execute_plan(spec.plan)
+            timings.append(time.perf_counter() - begin)
+        print(
+            f"{bound:<12} {tjoin_location(result.plan):<12} "
+            f"{result.cost:>9.0f}u {timings[0]:>9.4f}s {timings[1]:>9.4f}s"
+        )
+
+    print("\nSame queries against a hypothetical DBMS with native temporal")
+    print("support (temporal processing priced at 5% of the measured cost):")
+    native_factors = replace(
+        tango.factors,
+        p_taggd1=tango.factors.p_taggd1 * 0.05,
+        p_taggd2=tango.factors.p_taggd2 * 0.05,
+        p_joind=tango.factors.p_joind * 0.05,
+    )
+    native_optimizer = Optimizer(tango.estimator, native_factors)
+    for bound in BOUNDS:
+        result = native_optimizer.optimize(query3_initial_plan(db, bound))
+        print(f"{bound:<12} {tjoin_location(result.plan):<12} "
+              f"{result.cost:>9.0f}u")
+
+    print(
+        "\nThe split between middleware and DBMS is not fixed: it follows\n"
+        "the calibrated cost factors — the adaptability the paper's title\n"
+        "refers to.  Against a DBMS with efficient temporal operators the\n"
+        "middleware automatically degenerates to a pure translation layer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""The paper's Section 2.2 worked example, end to end.
+
+Reproduces Figures 3-5: the POSITION relation, the initial all-in-DBMS
+plan, the optimizer's chosen plan (temporal aggregation in the middleware),
+the execution-ready algorithm sequence, and the query result.
+
+Run:  python examples/position_history.py
+"""
+
+from repro import MiniDB, Tango
+from repro.algebra.builder import scan
+from repro.core.plans import compile_plan
+
+
+def build_database() -> MiniDB:
+    db = MiniDB()
+    db.execute(
+        "CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(16), "
+        "T1 DATE, T2 DATE)"
+    )
+    db.execute(
+        "INSERT INTO POSITION VALUES "
+        "(1, 'Tom', 2, 20), (1, 'Jane', 5, 25), (2, 'Tom', 5, 10)"
+    )
+    return db
+
+
+def example_query_plan(tango: Tango):
+    """Figure 4(a)'s query: count employees per position over time, then
+    temporally join the counts back to POSITION, sorted by position."""
+    aggregated = (
+        scan(tango.db, "POSITION")
+        .project("PosID", "T1", "T2")
+        .taggr(group_by=["PosID"], count="PosID")
+    )
+    return (
+        aggregated.temporal_join(
+            scan(tango.db, "POSITION").project("PosID", "EmpName", "T1", "T2"),
+            "PosID",
+            "PosID",
+        )
+        .project("PosID", "EmpName", "T1", "T2", "COUNTofPosID")
+        .sort("PosID")
+        .to_middleware()
+        .build()
+    )
+
+
+def main() -> None:
+    db = build_database()
+    tango = Tango(db)
+    tango.refresh_statistics()
+    tango.calibrate(sizes=(200,))
+
+    initial = example_query_plan(tango)
+    print("Initial plan (all processing in the DBMS, Figure 4(a)):")
+    print(initial.pretty())
+
+    optimized = tango.optimize(initial)
+    print(
+        f"\nOptimizer: {optimized.class_count} equivalence classes, "
+        f"{optimized.element_count} elements, estimated cost "
+        f"{optimized.cost:.0f}us"
+    )
+    print("\nChosen plan (Figure 4(b) shape):")
+    print(optimized.plan.pretty())
+
+    execution = compile_plan(optimized.plan, tango.connection)
+    print("\nExecution-ready plan (Figure 5's algorithm sequence):")
+    print(execution.describe())
+    execution.cleanup()
+
+    result = tango.execute_plan(optimized.plan)
+    print("\nQuery result (Figure 3(b)):")
+    print(f"  columns: {result.schema.names}")
+    for row in result:
+        print(f"  {row}")
+
+    expected = {
+        (1, "Tom", 2, 5, 1),
+        (1, "Tom", 5, 20, 2),
+        (1, "Jane", 5, 20, 2),
+        (1, "Jane", 20, 25, 1),
+        (2, "Tom", 5, 10, 1),
+    }
+    assert set(result.rows) == expected, "Figure 3(b) mismatch!"
+    print("\nMatches Figure 3(b) exactly.")
+
+
+if __name__ == "__main__":
+    main()

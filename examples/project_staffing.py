@@ -1,0 +1,115 @@
+"""Domain scenario: project staffing analytics over a valid-time table.
+
+A consultancy records who is assigned to which project, at what bill rate,
+and over which period.  The temporal middleware answers the questions the
+paper's introduction motivates — headcount over time, peak rates, who
+overlapped with whom — plus a coalescing example (the Section 7 extension
+operator).
+
+Run:  python examples/project_staffing.py
+"""
+
+from repro import MiniDB, Tango, day_of
+from repro.algebra.builder import scan
+from repro.temporal.timestamps import iso_of
+
+
+ASSIGNMENTS = [
+    # (project, engineer, rate, from, to)
+    (101, "Ada",     145.0, "2023-01-09", "2023-06-30"),
+    (101, "Grace",   130.0, "2023-03-01", "2023-09-15"),
+    (101, "Edsger",  120.0, "2023-06-01", "2024-01-05"),
+    (101, "Ada",     150.0, "2023-08-01", "2024-01-05"),  # Ada returns
+    (102, "Barbara", 140.0, "2023-02-01", "2023-05-01"),
+    (102, "Ada",     145.0, "2023-06-30", "2023-08-01"),
+    (102, "Edsger",  120.0, "2023-02-15", "2023-05-20"),
+    (103, "Grace",   135.0, "2023-09-15", "2024-02-01"),
+]
+
+
+def build_database() -> MiniDB:
+    db = MiniDB()
+    db.execute(
+        "CREATE TABLE ASSIGNMENT (ProjID INT, Engineer VARCHAR(12), "
+        "Rate FLOAT, T1 DATE, T2 DATE)"
+    )
+    values = ", ".join(
+        f"({p}, '{e}', {r}, {day_of(t1)}, {day_of(t2)})"
+        for p, e, r, t1, t2 in ASSIGNMENTS
+    )
+    db.execute(f"INSERT INTO ASSIGNMENT VALUES {values}")
+    return db
+
+
+def show(result, title):
+    print(f"\n{title}")
+    print(f"  columns: {result.schema.names}")
+    for row in result:
+        pretty = [
+            iso_of(value) if name in ("T1", "T2") else value
+            for name, value in zip(result.schema.names, row)
+        ]
+        print(f"  {tuple(pretty)}")
+
+
+def main() -> None:
+    tango = Tango(build_database())
+    tango.refresh_statistics()
+
+    # Headcount per project over time (temporal aggregation).
+    show(
+        tango.query(
+            "VALIDTIME SELECT ProjID, COUNT(Engineer) AS Heads "
+            "FROM ASSIGNMENT GROUP BY ProjID ORDER BY ProjID"
+        ),
+        "Headcount per project over time:",
+    )
+
+    # Burn rate: total bill rate per project over time.
+    show(
+        tango.query(
+            "VALIDTIME SELECT ProjID, SUM(Rate) AS Burn, MAX(Rate) AS Peak "
+            "FROM ASSIGNMENT GROUP BY ProjID ORDER BY ProjID"
+        ),
+        "Hourly burn and peak rate per project over time:",
+    )
+
+    # Who worked together on the same project (temporal self-join)?
+    show(
+        tango.query(
+            "VALIDTIME SELECT A.ProjID, A.Engineer, B.Engineer "
+            "FROM ASSIGNMENT A, ASSIGNMENT B "
+            "WHERE A.ProjID = B.ProjID AND A.Engineer < B.Engineer "
+            "ORDER BY ProjID"
+        ),
+        "Engineers overlapping on the same project:",
+    )
+
+    # Staff available on a given day (timeslice).
+    instant = day_of("2023-07-01")
+    show(
+        tango.query(
+            f"VALIDTIME SELECT Engineer, ProjID FROM ASSIGNMENT "
+            f"WHERE T1 <= {instant} AND T2 > {instant} ORDER BY Engineer"
+        ),
+        "Assignments active on 2023-07-01:",
+    )
+
+    # Coalescing (extension operator): Ada's two back-to-back project-101
+    # stints become one maximal employment period.
+    plan = (
+        scan(tango.db, "ASSIGNMENT")
+        .project("ProjID", "Engineer", "T1", "T2")
+        .sort("ProjID", "Engineer", "T1")
+        .to_middleware()
+        .coalesce()
+        .build()
+    )
+    result = tango.execute_plan(plan)
+    print("\nCoalesced engagement periods (value-equivalent tuples merged):")
+    for row in result:
+        print(f"  proj {row[0]:>3}  {row[1]:<8} {iso_of(row[2])} -> {iso_of(row[3])}")
+
+
+if __name__ == "__main__":
+    main()

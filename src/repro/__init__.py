@@ -1,0 +1,52 @@
+"""TANGO — Adaptable Query Optimization and Evaluation in Temporal Middleware.
+
+A faithful Python reproduction of Slivinskas, Jensen & Snodgrass
+(SIGMOD 2001): a temporal middleware that accepts temporal SQL, splits each
+query plan between itself and an underlying conventional DBMS using
+cost-based optimization, evaluates the middleware parts with special-purpose
+temporal algorithms, and ships the rest to the DBMS as SQL.
+
+Quick start::
+
+    from repro import MiniDB, Tango
+
+    db = MiniDB()
+    db.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), "
+               "T1 DATE, T2 DATE)")
+    db.execute("INSERT INTO POSITION VALUES (1,'Tom',2,20), (1,'Jane',5,25), "
+               "(2,'Tom',5,10)")
+
+    tango = Tango(db)
+    tango.refresh_statistics()
+    result = tango.query(
+        "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION "
+        "GROUP BY PosID ORDER BY PosID")
+    print(result.rows)   # Figure 3(c): constant intervals with counts
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.core import Tango, QueryResult
+from repro.dbms import MiniDB, Connection
+from repro.optimizer import CostFactors, Optimizer, PlanCoster
+from repro.stats import StatisticsCollector, CardinalityEstimator
+from repro.temporal import Period, day_of, date_of
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tango",
+    "QueryResult",
+    "MiniDB",
+    "Connection",
+    "CostFactors",
+    "Optimizer",
+    "PlanCoster",
+    "StatisticsCollector",
+    "CardinalityEstimator",
+    "Period",
+    "day_of",
+    "date_of",
+    "__version__",
+]

@@ -1,0 +1,415 @@
+"""Scalar expressions and predicates over rows.
+
+Expressions are immutable trees.  They can be
+
+* *evaluated* — :meth:`Expression.compile` turns a tree into a fast
+  ``row -> value`` closure for a given schema;
+* *rendered* — :meth:`Expression.to_sql` produces the SQL text the
+  Translator-To-SQL emits for DBMS-resident plan parts;
+* *inspected* — :func:`attributes_of` (the paper's ``attr(P)``) and
+  :func:`conjuncts` support transformation-rule preconditions and
+  selectivity estimation.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.algebra.schema import AttrType, Schema
+from repro.errors import ExpressionError
+
+RowFunc = Callable[[tuple], object]
+
+_COMPARISONS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: dict[str, Callable[[float, float], float]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expression:
+    """Abstract base for scalar expressions."""
+
+    def compile(self, schema: Schema) -> RowFunc:
+        """Return a ``row -> value`` evaluator bound to *schema*."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        """Render as SQL text in the MiniDB dialect."""
+        raise NotImplementedError
+
+    def attributes(self) -> frozenset[str]:
+        """Lower-cased attribute names referenced (the paper's ``attr``)."""
+        raise NotImplementedError
+
+    def result_type(self, schema: Schema) -> AttrType:
+        """Static type of the expression under *schema*."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    # Expressions participate in memo keys, so value equality matters.
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.to_sql()
+
+    # Convenience combinators ------------------------------------------------
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return And((self, other))
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or((self, other))
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnRef(Expression):
+    """Reference to an attribute by name."""
+
+    name: str
+
+    def compile(self, schema: Schema) -> RowFunc:
+        position = schema.index_of(self.name)
+        return lambda row: row[position]
+
+    def to_sql(self) -> str:
+        return self.name
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset((self.name.lower(),))
+
+    def result_type(self, schema: Schema) -> AttrType:
+        return schema.type_of(self.name)
+
+    def _key(self) -> tuple:
+        return (self.name.lower(),)
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expression):
+    """A constant value (int, float, str, or a DATE day number)."""
+
+    value: object
+    type: AttrType | None = None
+
+    def compile(self, schema: Schema) -> RowFunc:
+        value = self.value
+        return lambda row: value
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def result_type(self, schema: Schema) -> AttrType:
+        if self.type is not None:
+            return self.type
+        if isinstance(self.value, bool):
+            return AttrType.INT
+        if isinstance(self.value, int):
+            return AttrType.INT
+        if isinstance(self.value, float):
+            return AttrType.FLOAT
+        return AttrType.STR
+
+    def _key(self) -> tuple:
+        return (self.value, self.type)
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expression):
+    """Arithmetic: ``+ - * /``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def compile(self, schema: Schema) -> RowFunc:
+        func = _ARITHMETIC[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: func(left(row), right(row))
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def result_type(self, schema: Schema) -> AttrType:
+        left = self.left.result_type(schema)
+        right = self.right.result_type(schema)
+        if AttrType.FLOAT in (left, right) or self.op == "/":
+            return AttrType.FLOAT
+        return left
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Expression):
+    """A boolean comparison: ``= <> < <= > >=``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISONS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def compile(self, schema: Schema) -> RowFunc:
+        func = _COMPARISONS[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: func(left(row), right(row))
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def result_type(self, schema: Schema) -> AttrType:
+        return AttrType.INT
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+    def flipped(self) -> "Comparison":
+        """The same comparison with sides exchanged (``a < b`` → ``b > a``)."""
+        flip = {"=": "=", "<>": "<>", "!=": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return Comparison(flip[self.op], self.right, self.left)
+
+
+@dataclass(frozen=True, eq=False)
+class And(Expression):
+    """N-ary conjunction."""
+
+    terms: tuple[Expression, ...]
+
+    def __init__(self, terms: Iterable[Expression]):
+        flattened: list[Expression] = []
+        for term in terms:
+            if isinstance(term, And):
+                flattened.extend(term.terms)
+            else:
+                flattened.append(term)
+        if not flattened:
+            raise ExpressionError("empty conjunction")
+        object.__setattr__(self, "terms", tuple(flattened))
+
+    def compile(self, schema: Schema) -> RowFunc:
+        funcs = [term.compile(schema) for term in self.terms]
+        return lambda row: all(func(row) for func in funcs)
+
+    def to_sql(self) -> str:
+        return " AND ".join(
+            f"({t.to_sql()})" if isinstance(t, Or) else t.to_sql() for t in self.terms
+        )
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(t.attributes() for t in self.terms))
+
+    def result_type(self, schema: Schema) -> AttrType:
+        return AttrType.INT
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.terms
+
+    def _key(self) -> tuple:
+        return self.terms
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Expression):
+    """N-ary disjunction."""
+
+    terms: tuple[Expression, ...]
+
+    def __init__(self, terms: Iterable[Expression]):
+        flattened: list[Expression] = []
+        for term in terms:
+            if isinstance(term, Or):
+                flattened.extend(term.terms)
+            else:
+                flattened.append(term)
+        if not flattened:
+            raise ExpressionError("empty disjunction")
+        object.__setattr__(self, "terms", tuple(flattened))
+
+    def compile(self, schema: Schema) -> RowFunc:
+        funcs = [term.compile(schema) for term in self.terms]
+        return lambda row: any(func(row) for func in funcs)
+
+    def to_sql(self) -> str:
+        return " OR ".join(t.to_sql() for t in self.terms)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(t.attributes() for t in self.terms))
+
+    def result_type(self, schema: Schema) -> AttrType:
+        return AttrType.INT
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.terms
+
+    def _key(self) -> tuple:
+        return self.terms
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expression):
+    """Boolean negation."""
+
+    term: Expression
+
+    def compile(self, schema: Schema) -> RowFunc:
+        func = self.term.compile(schema)
+        return lambda row: not func(row)
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.term.to_sql()})"
+
+    def attributes(self) -> frozenset[str]:
+        return self.term.attributes()
+
+    def result_type(self, schema: Schema) -> AttrType:
+        return AttrType.INT
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.term,)
+
+    def _key(self) -> tuple:
+        return (self.term,)
+
+
+_FUNCTIONS: dict[str, Callable[..., object]] = {
+    "GREATEST": max,
+    "LEAST": min,
+    "ABS": abs,
+    "LENGTH": len,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class FuncCall(Expression):
+    """Scalar function call — notably ``GREATEST``/``LEAST`` (Figure 5)."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def __init__(self, name: str, args: Iterable[Expression]):
+        upper = name.upper()
+        if upper not in _FUNCTIONS:
+            raise ExpressionError(f"unknown scalar function {name!r}")
+        object.__setattr__(self, "name", upper)
+        object.__setattr__(self, "args", tuple(args))
+
+    def compile(self, schema: Schema) -> RowFunc:
+        func = _FUNCTIONS[self.name]
+        arg_funcs = [arg.compile(schema) for arg in self.args]
+        return lambda row: func(*(arg(row) for arg in arg_funcs))
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(arg.to_sql() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+    def attributes(self) -> frozenset[str]:
+        if not self.args:
+            return frozenset()
+        return frozenset().union(*(a.attributes() for a in self.args))
+
+    def result_type(self, schema: Schema) -> AttrType:
+        if self.name == "LENGTH":
+            return AttrType.INT
+        if not self.args:
+            return AttrType.INT
+        return self.args[0].result_type(schema)
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.args
+
+    def _key(self) -> tuple:
+        return (self.name, self.args)
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: object, type: AttrType | None = None) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value, type)
+
+
+def conjuncts(predicate: Expression | None) -> Iterator[Expression]:
+    """Yield the top-level AND-terms of *predicate* (none for ``None``)."""
+    if predicate is None:
+        return
+    if isinstance(predicate, And):
+        yield from predicate.terms
+    else:
+        yield predicate
+
+
+def conjoin(terms: Sequence[Expression]) -> Expression | None:
+    """Combine terms with AND; ``None`` for an empty sequence."""
+    if not terms:
+        return None
+    if len(terms) == 1:
+        return terms[0]
+    return And(terms)
+
+
+def attributes_of(*expressions: Expression | None) -> frozenset[str]:
+    """Union of attribute names over possibly-``None`` expressions."""
+    names: frozenset[str] = frozenset()
+    for expression in expressions:
+        if expression is not None:
+            names |= expression.attributes()
+    return names

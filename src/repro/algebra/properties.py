@@ -1,0 +1,60 @@
+"""Plan properties: order and duplicates.
+
+Section 4 of the paper distinguishes *list* equivalence (equal as ordered
+lists) from *multiset* equivalence (equal up to order).  Whether a plan's
+delivered order can be relied upon depends on where it runs:
+
+    "while the middleware algorithms are designed to be order preserving,
+    this does not hold for the DBMS algorithms."
+
+:func:`guaranteed_order` encodes that rule: a plan's order is guaranteed when
+(1) the producing operator resides in the middleware, or (2) the top DBMS
+operation is an explicit sort (which the Translator-To-SQL turns into an
+``ORDER BY``).  Otherwise the DBMS is free to reorder and only multiset
+equivalence holds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.operators import Location, Operator, Sort, TransferM
+
+
+def is_prefix_of(candidate: Sequence[str], order: Sequence[str]) -> bool:
+    """The paper's ``IsPrefixOf`` predicate, case-insensitive.
+
+    >>> is_prefix_of(["PosID"], ["posid", "t1"])
+    True
+    >>> is_prefix_of(["T1"], ["posid", "t1"])
+    False
+    """
+    if len(candidate) > len(order):
+        return False
+    return all(
+        a.lower() == b.lower() for a, b in zip(candidate, order)
+    )
+
+
+def guaranteed_order(plan: Operator) -> tuple[str, ...]:
+    """The delivered order of *plan* that downstream operators may rely on.
+
+    Returns the order attribute list, or ``()`` when no order is guaranteed.
+    """
+    if plan.location is Location.MIDDLEWARE:
+        # Middleware algorithms are order preserving; T^M preserves the order
+        # of what the DBMS delivered — which is only guaranteed if the DBMS
+        # part itself tops out in a sort.
+        if isinstance(plan, TransferM):
+            return guaranteed_order(plan.input)
+        return plan.order()
+    if isinstance(plan, Sort):
+        return plan.keys
+    return ()
+
+
+def satisfies_order(plan: Operator, required: Sequence[str]) -> bool:
+    """True when *plan* reliably delivers at least the *required* order."""
+    if not required:
+        return True
+    return is_prefix_of(required, guaranteed_order(plan))

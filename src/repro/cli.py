@@ -1,0 +1,225 @@
+"""An interactive shell for the temporal middleware.
+
+Usage::
+
+    python -m repro                 # interactive session
+    python -m repro script.sql      # execute a ;-separated script
+    python -m repro --uis 0.01      # preload the scaled UIS dataset
+
+Statements are regular SQL (executed by MiniDB) or temporal SQL
+(``VALIDTIME ...``, routed through the TANGO optimizer and execution
+engine).  Meta-commands:
+
+    \\tables              list tables with cardinalities
+    \\explain <query>     show the chosen plan and its cost breakdown
+    \\plan <query>        show the execution-ready algorithm sequence
+    \\analyze             ANALYZE every table
+    \\calibrate           fit cost factors on this machine
+    \\timing on|off       toggle per-statement timing
+    \\quit                leave
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.plans import compile_plan
+from repro.core.tango import Tango
+from repro.dbms.database import MiniDB
+from repro.errors import ReproError
+
+PROMPT = "tango> "
+CONTINUATION = "   ..> "
+
+
+def format_table(names, rows, limit: int = 40) -> str:
+    """Align rows under their column names, truncating long results."""
+    header = [str(name) for name in names]
+    shown = [tuple(str(value) for value in row) for row in rows[:limit]]
+    widths = [
+        max(len(header[i]), max((len(row[i]) for row in shown), default=0))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in shown:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more rows")
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+class Shell:
+    """Dispatches statements and meta-commands against one Tango instance."""
+
+    def __init__(self, tango: Tango, out=sys.stdout):
+        self.tango = tango
+        self.out = out
+        self.timing = True
+
+    def echo(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def run_line(self, line: str) -> bool:
+        """Execute one complete statement or meta-command.
+
+        Returns False when the session should end.
+        """
+        stripped = line.strip().rstrip(";").strip()
+        if not stripped:
+            return True
+        if stripped.startswith("\\"):
+            return self._meta(stripped)
+        self._statement(stripped)
+        return True
+
+    def _statement(self, sql: str) -> None:
+        begin = time.perf_counter()
+        try:
+            result = self.tango.query(sql)
+        except ReproError as error:
+            self.echo(f"error: {error}")
+            return
+        elapsed = time.perf_counter() - begin
+        if len(result.schema):
+            self.echo(format_table(result.schema.names, result.rows))
+        else:
+            self.echo("ok")
+        if self.timing:
+            note = ""
+            if result.estimated_cost is not None:
+                note = (
+                    f"  [optimizer: {result.class_count} classes, "
+                    f"{result.element_count} elements, "
+                    f"est {result.estimated_cost:.0f}us]"
+                )
+            self.echo(f"time: {elapsed:.4f}s{note}")
+
+    def _meta(self, command: str) -> bool:
+        word, _, argument = command.partition(" ")
+        word = word.lower()
+        argument = argument.strip()
+        if word in ("\\q", "\\quit", "\\exit"):
+            return False
+        if word == "\\tables":
+            for name in self.tango.db.list_tables():
+                table = self.tango.db.table(name)
+                analyzed = self.tango.db.statistics_of(name) is not None
+                self.echo(
+                    f"  {name:<24} {table.cardinality:>8} rows"
+                    f"{'' if analyzed else '   (not analyzed)'}"
+                )
+            return True
+        if word == "\\explain":
+            try:
+                self.echo(self.tango.explain(argument))
+            except ReproError as error:
+                self.echo(f"error: {error}")
+            return True
+        if word == "\\plan":
+            try:
+                optimization = self.tango.optimize(argument)
+                execution = compile_plan(
+                    optimization.plan, self.tango.connection
+                )
+                self.echo(execution.describe())
+                execution.cleanup()
+            except ReproError as error:
+                self.echo(f"error: {error}")
+            return True
+        if word == "\\analyze":
+            self.tango.refresh_statistics()
+            self.echo(f"analyzed {len(self.tango.db.list_tables())} tables")
+            return True
+        if word == "\\calibrate":
+            factors = self.tango.calibrate()
+            self.echo(
+                "calibrated: "
+                f"p_tmr={factors.p_tmr:.2f}us/row  p_tm={factors.p_tm:.4f}us/B  "
+                f"p_taggd1={factors.p_taggd1:.3f}  p_joind={factors.p_joind:.4f}"
+            )
+            return True
+        if word == "\\timing":
+            self.timing = argument.lower() != "off"
+            self.echo(f"timing {'on' if self.timing else 'off'}")
+            return True
+        if word == "\\help":
+            self.echo(__doc__ or "")
+            return True
+        self.echo(f"unknown command {word!r}; try \\help")
+        return True
+
+
+def split_statements(text: str) -> list[str]:
+    """Split script text on ``;`` outside of single-quoted strings."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for char in text:
+        if char == "'":
+            in_string = not in_string
+        if char == ";" and not in_string:
+            statements.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return [statement.strip() for statement in statements if statement.strip()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    db = MiniDB()
+    script_path: str | None = None
+    while argv:
+        argument = argv.pop(0)
+        if argument == "--uis":
+            scale = float(argv.pop(0)) if argv and not argv[0].startswith("-") else 0.01
+            from repro.workloads.uis import load_uis
+
+            print(f"loading UIS dataset at scale {scale}...")
+            load_uis(db, scale=scale)
+        elif argument in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            script_path = argument
+
+    shell = Shell(Tango(db))
+    if script_path is not None:
+        with open(script_path) as handle:
+            for statement in split_statements(handle.read()):
+                if not shell.run_line(statement):
+                    break
+        return 0
+
+    print("TANGO temporal middleware — \\help for commands, \\q to quit.")
+    buffer: list[str] = []
+    while True:
+        try:
+            line = input(CONTINUATION if buffer else PROMPT)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not buffer and line.strip().startswith("\\"):
+            if not shell.run_line(line):
+                return 0
+            continue
+        buffer.append(line)
+        if line.rstrip().endswith(";"):
+            statement = "\n".join(buffer)
+            buffer = []
+            if not shell.run_line(statement):
+                return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""TANGO proper: the temporal middleware on top of the substrates.
+
+Components per Figure 1:
+
+* :mod:`repro.core.parser` — temporal SQL (``VALIDTIME``-prefixed) to the
+  initial algebraic plan (all processing in the DBMS, one ``T^M`` on top);
+* :mod:`repro.core.translator` — Translator-To-SQL: plan parts below ``T^M``
+  to SQL text, including the constant-interval rewrite for ``TAGGR^D``;
+* :mod:`repro.core.plans` — execution-ready plans: the Figure 5 algorithm
+  sequence compiled from an optimized operator tree;
+* :mod:`repro.core.engine` — the Execution Engine (Figure 2);
+* :mod:`repro.core.tango` — the :class:`~repro.core.tango.Tango` facade a
+  client application talks to.
+"""
+
+from repro.core.tango import Tango, QueryResult
+from repro.core.parser import parse_temporal_query
+from repro.core.translator import SQLTranslator
+from repro.core.plans import compile_plan, ExecutionPlan
+from repro.core.engine import ExecutionEngine
+
+__all__ = [
+    "Tango",
+    "QueryResult",
+    "parse_temporal_query",
+    "SQLTranslator",
+    "compile_plan",
+    "ExecutionPlan",
+    "ExecutionEngine",
+]

@@ -1,0 +1,105 @@
+"""The Execution Engine (Figure 2).
+
+``ExecuteQuery`` verbatim: create result sets for all algorithms in the
+plan, call ``init()`` on each in sequence, then drain the last one —
+pipelined execution where earlier ``TRANSFER^D`` steps have materialized
+their temp tables by the time later ``TRANSFER^M`` SQL references them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.schema import Schema
+from repro.core.feedback import TransferObservation
+from repro.core.plans import ExecutionPlan
+
+
+@dataclass
+class ExecutionOutcome:
+    """Rows plus bookkeeping from one plan execution."""
+
+    schema: Schema
+    rows: list[tuple]
+    elapsed_seconds: float
+    steps: int
+    #: Per-transfer timings (the Section 7 performance-feedback signal).
+    observations: list[TransferObservation] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ExecutionEngine:
+    """Runs execution-ready plans."""
+
+    def __init__(self, cleanup_temp_tables: bool = True):
+        self.cleanup_temp_tables = cleanup_temp_tables
+
+    def execute(self, plan: ExecutionPlan) -> ExecutionOutcome:
+        """Figure 2's ExecuteQuery: init every result set, drain the last."""
+        begin = time.perf_counter()
+        try:
+            for step in plan.steps:
+                step.init()
+            output = plan.output
+            rows = [output.next() for _ in iter(output.has_next, False)]
+            schema = output.schema
+            observations = _collect_observations(plan)
+        finally:
+            for step in plan.steps:
+                step.close()
+            if self.cleanup_temp_tables:
+                plan.cleanup()
+        elapsed = time.perf_counter() - begin
+        return ExecutionOutcome(
+            schema=schema,
+            rows=rows,
+            elapsed_seconds=elapsed,
+            steps=len(plan.steps),
+            observations=observations,
+        )
+
+
+def _collect_observations(plan: ExecutionPlan) -> list:
+    """Harvest transfer timings from every cursor in the executed plan."""
+    from repro.xxl.sources import SQLCursor
+    from repro.xxl.transfer import TransferDCursor
+
+    observations = []
+    seen: set[int] = set()
+
+    def visit(cursor) -> None:
+        if id(cursor) in seen:
+            return
+        seen.add(id(cursor))
+        if isinstance(cursor, SQLCursor):
+            observations.append(
+                TransferObservation(
+                    direction="up",
+                    tuples=cursor.rows_produced,
+                    bytes=cursor.rows_produced * cursor.schema.row_width,
+                    seconds=cursor.fetch_seconds,
+                )
+            )
+        elif isinstance(cursor, TransferDCursor):
+            observations.append(
+                TransferObservation(
+                    direction="down",
+                    tuples=cursor.rows_loaded,
+                    bytes=cursor.rows_loaded * cursor.schema.row_width,
+                    seconds=cursor.load_seconds,
+                )
+            )
+        for attribute in ("_input", "_left", "_right"):
+            child = getattr(cursor, attribute, None)
+            if child is not None and hasattr(child, "has_next"):
+                visit(child)
+
+    for step in plan.steps:
+        visit(step)
+    return observations

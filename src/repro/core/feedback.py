@@ -1,0 +1,96 @@
+"""Performance feedback: adapt cost factors from observed executions.
+
+Section 7 of the paper: "DBMS query processing statistics, such as the
+running times of query parts, may be used to update the cost factors used
+in the middleware's cost formulas."  The abstract promises the same: "the
+middleware uses performance feedback from the DBMS to adapt its
+partitioning of subsequent queries".
+
+The transfer algorithms are the measurable query parts — each
+``TRANSFER^M`` cursor knows how many tuples it fetched and how long the
+fetch took, and each ``TRANSFER^D`` knows its load size and time.  (The
+paper calls dividing the remaining time between the DBMS's internal
+algorithms "an interesting challenge" and leaves it open; so do we.)
+
+:class:`FeedbackAdapter` folds those observations into the per-tuple
+transfer factors with an exponential moving average, so a middleware
+running against a suddenly slower (or faster) DBMS connection re-apportions
+subsequent queries without a recalibration pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.optimizer.costs import CostFactors
+
+
+@dataclass(frozen=True)
+class TransferObservation:
+    """One observed transfer: direction, tuples moved, bytes moved, and
+    the wall-clock seconds it took."""
+
+    direction: str  # "up" (TRANSFER^M) or "down" (TRANSFER^D)
+    tuples: int
+    bytes: int
+    seconds: float
+
+    @property
+    def per_tuple_us(self) -> float:
+        if self.tuples <= 0:
+            return 0.0
+        return self.seconds * 1e6 / self.tuples
+
+
+class FeedbackAdapter:
+    """Maintains cost factors under an exponential moving average.
+
+    ``smoothing`` is the weight of each new observation (0 < α ≤ 1);
+    observations of fewer than ``min_tuples`` tuples are ignored — their
+    per-tuple quotient is dominated by fixed round-trip overhead.
+    """
+
+    def __init__(self, smoothing: float = 0.3, min_tuples: int = 20):
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.smoothing = smoothing
+        self.min_tuples = min_tuples
+        self.observations_applied = 0
+
+    def apply(
+        self, factors: CostFactors, observations: list[TransferObservation]
+    ) -> CostFactors:
+        """Return *factors* updated with *observations*.
+
+        Only the per-tuple transfer shares move (the per-byte shares come
+        from the calibration's controlled narrow/wide fit; a single live
+        query cannot separate the two terms).
+        """
+        p_tmr = factors.p_tmr
+        p_tdr = factors.p_tdr
+        for observation in observations:
+            if observation.tuples < self.min_tuples:
+                continue
+            observed = max(
+                0.0,
+                observation.per_tuple_us
+                - _per_byte_share(factors, observation),
+            )
+            if observation.direction == "up":
+                p_tmr = (1 - self.smoothing) * p_tmr + self.smoothing * observed
+            elif observation.direction == "down":
+                p_tdr = (1 - self.smoothing) * p_tdr + self.smoothing * observed
+            self.observations_applied += 1
+        if p_tmr == factors.p_tmr and p_tdr == factors.p_tdr:
+            return factors
+        return replace(factors, p_tmr=p_tmr, p_tdr=p_tdr)
+
+
+def _per_byte_share(factors: CostFactors, observation: TransferObservation) -> float:
+    """The microseconds per tuple already explained by the per-byte term."""
+    if observation.tuples <= 0:
+        return 0.0
+    width = observation.bytes / observation.tuples
+    if observation.direction == "up":
+        return factors.p_tm * width
+    return factors.p_td * width

@@ -1,0 +1,238 @@
+"""Execution-ready plans: the Figure 5 algorithm sequence.
+
+:func:`compile_plan` turns an optimized (and validated) operator tree into
+an :class:`ExecutionPlan` — an ordered list of middleware algorithms where
+
+* each maximal DBMS region below a ``T^M`` becomes one ``TRANSFER^M``
+  (an SQL cursor, text produced by the Translator-To-SQL);
+* each ``T^D`` becomes a ``TRANSFER^D`` step that must be initialized
+  *before* any ``TRANSFER^M`` whose SQL references its temp table (the
+  dashed "algorithm sequence" arrows of Figure 5);
+* middleware operators become their XXL cursors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import (
+    Coalesce,
+    Dedup,
+    Difference,
+    Join,
+    Location,
+    Operator,
+    Project,
+    Select,
+    Sort,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferD,
+    TransferM,
+)
+from repro.core.translator import SQLTranslator
+from repro.dbms.costmodel import CostMeter
+from repro.errors import PlanError
+from repro.xxl import (
+    CoalesceCursor,
+    Cursor,
+    DedupCursor,
+    DifferenceCursor,
+    FilterCursor,
+    MergeJoinCursor,
+    ProjectCursor,
+    SortCursor,
+    SQLCursor,
+    TemporalAggregateCursor,
+    TemporalJoinCursor,
+    TransferDCursor,
+)
+from repro.xxl.transfer import unique_temp_name
+
+
+@dataclass
+class ExecutionPlan:
+    """An ordered sequence of algorithm cursors; the last one is the output."""
+
+    steps: list[Cursor] = field(default_factory=list)
+    transfers_down: list[TransferDCursor] = field(default_factory=list)
+
+    @property
+    def output(self) -> Cursor:
+        if not self.steps:
+            raise PlanError("empty execution plan")
+        return self.steps[-1]
+
+    def describe(self) -> str:
+        """Figure 5-style rendering: one line per algorithm, middleware
+        pipelines indented under the step that drains them."""
+        lines: list[str] = []
+        for step in self.steps:
+            lines.extend(_describe_cursor(step, 0))
+        return "\n".join(lines)
+
+    def cleanup(self) -> None:
+        """Drop every temp table this plan loaded."""
+        for transfer in self.transfers_down:
+            transfer.drop()
+
+
+_ALGORITHM_NAMES = {
+    "FilterCursor": "FILTER^M",
+    "ProjectCursor": "PROJECT^M",
+    "SortCursor": "SORT^M",
+    "MergeJoinCursor": "JOIN^M",
+    "TemporalJoinCursor": "TJOIN^M",
+    "TemporalAggregateCursor": "TAGGR^M",
+    "DedupCursor": "DEDUP^M",
+    "CoalesceCursor": "COAL^M",
+    "DifferenceCursor": "DIFF^M",
+}
+
+
+def _describe_cursor(cursor: Cursor, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(cursor, SQLCursor):
+        sql = " ".join(cursor.sql.split())
+        if len(sql) > 100:
+            sql = sql[:97] + "..."
+        return [f"{pad}TRANSFER^M  Query: {sql}"]
+    if isinstance(cursor, TransferDCursor):
+        lines = [f"{pad}TRANSFER^D  TableName: {cursor.table_name}"]
+        lines.extend(_describe_cursor(cursor._input, indent + 1))
+        return lines
+    name = _ALGORITHM_NAMES.get(type(cursor).__name__, type(cursor).__name__)
+    detail = ""
+    if isinstance(cursor, TemporalAggregateCursor):
+        group = ", ".join(cursor.group_by)
+        aggs = ", ".join(spec.to_sql() for spec in cursor.aggregates)
+        detail = f"  GroupBy: {group}  Aggregate: {aggs}"
+    elif isinstance(cursor, SortCursor):
+        detail = f"  Keys: {', '.join(cursor.keys)}"
+    elif isinstance(cursor, (MergeJoinCursor, TemporalJoinCursor)):
+        detail = f"  On: {cursor.left_attr}={cursor.right_attr}"
+    elif isinstance(cursor, FilterCursor):
+        detail = f"  Predicate: {cursor.predicate.to_sql()}"
+    lines = [f"{pad}{name}{detail}"]
+    for attribute in ("_input", "_left", "_right"):
+        child = getattr(cursor, attribute, None)
+        if isinstance(child, Cursor):
+            lines.extend(_describe_cursor(child, indent + 1))
+    return lines
+
+
+def compile_plan(
+    plan: Operator,
+    connection,
+    meter: CostMeter | None = None,
+    translator: SQLTranslator | None = None,
+) -> ExecutionPlan:
+    """Compile an optimized operator tree into an :class:`ExecutionPlan`.
+
+    *plan* must be middleware-rooted (every complete TANGO plan ends with
+    the result in the middleware).
+    """
+    if plan.location is not Location.MIDDLEWARE:
+        raise PlanError(
+            "execution plans must deliver their result to the middleware; "
+            "wrap the tree in a T^M"
+        )
+    compiler = _Compiler(connection, meter, translator or SQLTranslator())
+    root = compiler.build(plan)
+    execution_plan = ExecutionPlan(
+        steps=compiler.steps + [root],
+        transfers_down=compiler.transfers_down,
+    )
+    return execution_plan
+
+
+class _Compiler:
+    def __init__(self, connection, meter: CostMeter | None, translator: SQLTranslator):
+        self._connection = connection
+        self._meter = meter
+        self._translator = translator
+        #: Steps that must be initialized before the output cursor, in order.
+        self.steps: list[Cursor] = []
+        self.transfers_down: list[TransferDCursor] = []
+        #: id(TransferD node) -> temp table name, for the translator.
+        self._temp_names: dict[int, str] = {}
+
+    def build(self, node: Operator) -> Cursor:
+        """Cursor for a middleware-located operator."""
+        if isinstance(node, TransferM):
+            return self._build_transfer_m(node)
+        if isinstance(node, Select):
+            return FilterCursor(self.build(node.input), node.predicate, self._meter)
+        if isinstance(node, Project):
+            return ProjectCursor(self.build(node.input), node.outputs, self._meter)
+        if isinstance(node, Sort):
+            return SortCursor(self.build(node.input), node.keys, self._meter)
+        if isinstance(node, TemporalAggregate):
+            return TemporalAggregateCursor(
+                self.build(node.input),
+                node.group_by,
+                node.aggregates,
+                node.period,
+                self._meter,
+            )
+        if isinstance(node, TemporalJoin):
+            return TemporalJoinCursor(
+                self.build(node.left),
+                self.build(node.right),
+                node.left_attr,
+                node.right_attr,
+                node.period,
+                self._meter,
+            )
+        if isinstance(node, Join):
+            return MergeJoinCursor(
+                self.build(node.left),
+                self.build(node.right),
+                node.left_attr,
+                node.right_attr,
+                node.residual,
+                self._meter,
+            )
+        if isinstance(node, Dedup):
+            return DedupCursor(self.build(node.input), meter=self._meter)
+        if isinstance(node, Coalesce):
+            return CoalesceCursor(self.build(node.input), node.period, self._meter)
+        if isinstance(node, Difference):
+            return DifferenceCursor(
+                self.build(node.left), self.build(node.right), self._meter
+            )
+        raise PlanError(
+            f"{node.name} at {node.location.value} cannot start a middleware "
+            "pipeline (expected a T^M boundary below it)"
+        )
+
+    def _build_transfer_m(self, node: TransferM) -> SQLCursor:
+        """One TRANSFER^M step covering the DBMS region below *node*.
+
+        Any ``T^D`` nodes inside the region are compiled first (their
+        middleware pipelines become earlier steps), and their temp-table
+        names are substituted into the SQL.
+        """
+        self._prepare_transfers_down(node.input)
+        sql = self._translator.translate(node.input, self._temp_names)
+        return SQLCursor(self._connection, sql)
+
+    def _prepare_transfers_down(self, node: Operator) -> None:
+        if isinstance(node, TransferD):
+            if id(node) not in self._temp_names:
+                table_name = unique_temp_name()
+                self._temp_names[id(node)] = table_name
+                inner = self.build(node.input)
+                from repro.algebra.properties import guaranteed_order
+
+                transfer = TransferDCursor(
+                    inner,
+                    self._connection,
+                    table_name,
+                    order=tuple(guaranteed_order(node.input)),
+                )
+                self.steps.append(transfer)
+                self.transfers_down.append(transfer)
+            return
+        for child in node.inputs:
+            self._prepare_transfers_down(child)

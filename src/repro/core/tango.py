@@ -1,0 +1,201 @@
+"""The :class:`Tango` facade — the temporal middleware a client talks to.
+
+Wires the Figure 1 architecture together:
+
+    parser → optimizer (rules + statistics + cost estimation)
+           → Translator-To-SQL → Execution Engine → DBMS (JDBC)
+
+Typical use::
+
+    db = MiniDB()
+    ... create and populate tables ...
+    tango = Tango(db)
+    tango.refresh_statistics()
+    result = tango.query(
+        "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION "
+        "GROUP BY PosID ORDER BY PosID"
+    )
+    for row in result.rows: ...
+
+Regular (non-``VALIDTIME``) SQL is passed straight through to the DBMS —
+TANGO "captures the functionality of previously proposed stratum
+approaches" while adding shared query processing for temporal constructs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import Operator
+from repro.algebra.schema import Schema
+from repro.core.engine import ExecutionEngine
+from repro.core.feedback import FeedbackAdapter
+from repro.core.parser import is_temporal_query, parse_temporal_query
+from repro.core.plans import compile_plan
+from repro.core.translator import SQLTranslator
+from repro.dbms.database import MiniDB
+from repro.dbms.costmodel import CostMeter
+from repro.dbms.jdbc import Connection
+from repro.optimizer.calibration import Calibrator
+from repro.optimizer.costs import CostFactors, PlanCoster
+from repro.optimizer.physical import validate_plan
+from repro.optimizer.search import OptimizationResult, Optimizer
+from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.collector import StatisticsCollector
+from repro.stats.selectivity import PredicateEstimator
+
+
+@dataclass
+class QueryResult:
+    """What a TANGO query returns to the client."""
+
+    schema: Schema
+    rows: list[tuple]
+    elapsed_seconds: float
+    #: The executed plan (None for straight DBMS passthrough).
+    plan: Operator | None = None
+    #: Estimated cost of the chosen plan, microseconds.
+    estimated_cost: float | None = None
+    #: Memo complexity of the optimizer run.
+    class_count: int | None = None
+    element_count: int | None = None
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Tango:
+    """Temporal Adaptive Next-Generation query Optimizer and processor."""
+
+    def __init__(
+        self,
+        db: MiniDB,
+        use_histograms: bool = True,
+        factors: CostFactors | None = None,
+        prefetch: int = 50,
+        middleware_meter: CostMeter | None = None,
+        adaptive: bool = False,
+    ):
+        self.db = db
+        self.connection = Connection(db, prefetch=prefetch)
+        #: Meter charged by middleware algorithms (separate from the DBMS's).
+        self.middleware_meter = middleware_meter or CostMeter()
+        self.collector = StatisticsCollector(self.connection)
+        self.predicate_estimator = PredicateEstimator(use_histograms=use_histograms)
+        self.estimator = CardinalityEstimator(self.collector, self.predicate_estimator)
+        self.factors = factors or CostFactors()
+        self.translator = SQLTranslator()
+        self.engine = ExecutionEngine()
+        #: When set, transfer timings observed during execution update the
+        #: cost factors (the Section 7 feedback loop; see repro.core.feedback).
+        self.adaptive = adaptive
+        self.feedback = FeedbackAdapter()
+        self._optimizer: Optimizer | None = None
+
+    # -- configuration ----------------------------------------------------------------
+
+    @property
+    def optimizer(self) -> Optimizer:
+        if self._optimizer is None:
+            self._optimizer = Optimizer(self.estimator, self.factors)
+        return self._optimizer
+
+    def refresh_statistics(self, tables: list[str] | None = None) -> None:
+        """Re-ANALYZE base relations and drop cached statistics.
+
+        The Statistics Collector re-reads the catalog lazily afterwards.
+        """
+        for table in tables if tables is not None else self.db.list_tables():
+            self.db.analyze(table)
+        self.collector.refresh()
+        # Cardinality caches key on plan identity; new stats need a fresh one.
+        self.estimator = CardinalityEstimator(self.collector, self.predicate_estimator)
+        self._optimizer = None
+
+    def calibrate(
+        self, sizes: tuple[int, ...] = (500, 2000), repeats: int = 3
+    ) -> CostFactors:
+        """Fit cost factors on this machine (the Cost Estimator component)."""
+        self.factors = Calibrator(self.connection, sizes, repeats).calibrate(
+            self.factors
+        )
+        self._optimizer = None
+        return self.factors
+
+    # -- the query path ------------------------------------------------------------------
+
+    def parse(self, sql: str) -> Operator:
+        """Temporal SQL → initial plan (all processing in the DBMS)."""
+        return parse_temporal_query(sql, self.db)
+
+    def optimize(self, query: str | Operator) -> OptimizationResult:
+        """Run the two-phase optimizer on a query or an initial plan."""
+        plan = self.parse(query) if isinstance(query, str) else query
+        result = self.optimizer.optimize(plan)
+        validate_plan(result.plan)
+        return result
+
+    def execute_plan(self, plan: Operator) -> QueryResult:
+        """Execute a complete (validated) plan tree."""
+        validate_plan(plan)
+        execution_plan = compile_plan(
+            plan, self.connection, self.middleware_meter, self.translator
+        )
+        outcome = self.engine.execute(execution_plan)
+        if self.adaptive and outcome.observations:
+            updated = self.feedback.apply(self.factors, outcome.observations)
+            if updated is not self.factors:
+                self.factors = updated
+                self._optimizer = None  # next query sees the new factors
+        return QueryResult(
+            schema=outcome.schema,
+            rows=outcome.rows,
+            elapsed_seconds=outcome.elapsed_seconds,
+            plan=plan,
+        )
+
+    def query(self, sql: str) -> QueryResult:
+        """The full TANGO path: parse, optimize, execute.
+
+        Non-temporal statements go straight to the DBMS (stratum
+        passthrough).
+        """
+        if not is_temporal_query(sql):
+            return self._passthrough(sql)
+        begin = time.perf_counter()
+        optimization = self.optimize(sql)
+        result = self.execute_plan(optimization.plan)
+        # Middleware optimization time is part of the query time (Section 5.1).
+        result.elapsed_seconds = time.perf_counter() - begin
+        result.estimated_cost = optimization.cost
+        result.class_count = optimization.class_count
+        result.element_count = optimization.element_count
+        return result
+
+    def explain(self, sql: str) -> str:
+        """The chosen plan and its cost breakdown, without executing."""
+        optimization = self.optimize(sql)
+        coster = PlanCoster(self.estimator, self.factors)
+        lines = [optimization.explain(), "", "cost breakdown (us):"]
+        for label, cost in coster.breakdown(optimization.plan):
+            lines.append(f"  {cost:12.1f}  {label}")
+        return "\n".join(lines)
+
+    def _passthrough(self, sql: str) -> QueryResult:
+        begin = time.perf_counter()
+        outcome = self.db.execute(sql)
+        elapsed = time.perf_counter() - begin
+        if isinstance(outcome, int):
+            return QueryResult(Schema([]), [], elapsed)
+        rows = outcome.fetchall()
+        return QueryResult(outcome.schema, rows, elapsed)
+
+    # -- convenience ----------------------------------------------------------------------
+
+    def plan_cost(self, plan: Operator) -> float:
+        """Estimated cost of an arbitrary plan under current statistics."""
+        return PlanCoster(self.estimator, self.factors).cost(plan)

@@ -1,0 +1,313 @@
+"""Translator-To-SQL (Figure 1).
+
+Translates the parts of a chosen plan that are assigned to the DBMS — the
+subtrees below each ``T^M`` that reach either the leaf level (base-relation
+scans) or a ``T^D`` (a middleware-produced temp table) — into SQL text.
+
+Every operator becomes one SELECT layer over derived tables, so arbitrary
+DBMS-located trees translate compositionally.  Two operators get special
+treatment:
+
+* ``TemporalJoin@D`` emits the Figure 5 shape: a regular join with the
+  overlap condition and ``GREATEST``/``LEAST`` period projections;
+* ``TemporalAggregate@D`` (``TAGGR^D``) emits the classic constant-interval
+  SQL — instants from a ``UNION`` of T1/T2, adjacent-instant pairing, and an
+  overlap-counting join — the "50-line SQL query" of Section 3.4.
+
+Interior sorts are dropped (a DBMS provides no order guarantees below the
+top level — Section 4); only the top-most sort becomes the final
+``ORDER BY``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Expression
+from repro.algebra.operators import (
+    Dedup,
+    Join,
+    Location,
+    Operator,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferD,
+)
+from repro.errors import PlanError
+
+
+class SQLTranslator:
+    """Stateless translator; temp-table names for ``T^D`` nodes are supplied
+    per call (they are assigned when the execution plan is linearized)."""
+
+    def translate(
+        self,
+        plan: Operator,
+        temp_tables: dict[int, str] | None = None,
+    ) -> str:
+        """SQL for a DBMS-located plan subtree.
+
+        *temp_tables* maps ``id(transfer_d_node)`` to the table each ``T^D``
+        loaded.
+        """
+        if plan.location is not Location.DBMS:
+            raise PlanError(
+                f"cannot translate {plan.name} at {plan.location.value} to SQL"
+            )
+        context = _Context(temp_tables or {})
+        order_by: tuple[str, ...] = ()
+        body = plan
+        if isinstance(plan, Sort):
+            order_by = plan.keys
+            body = plan.input
+        sql = context.render(body)
+        if order_by:
+            sql += "\nORDER BY " + ", ".join(order_by)
+        return sql
+
+
+class _Context:
+    def __init__(self, temp_tables: dict[int, str]):
+        self._temp_tables = temp_tables
+        self._alias_counter = 0
+
+    def _alias(self) -> str:
+        self._alias_counter += 1
+        return f"Q{self._alias_counter}"
+
+    def _from_item(self, node: Operator) -> str:
+        """A FROM-clause item for *node*: a bare table or a derived table."""
+        if isinstance(node, Scan):
+            return f"{node.table} {self._alias()}"
+        if isinstance(node, TransferD):
+            try:
+                return f"{self._temp_tables[id(node)]} {self._alias()}"
+            except KeyError:
+                raise PlanError(
+                    "T^D node has no assigned temp table; compile the plan "
+                    "through repro.core.plans.compile_plan"
+                ) from None
+        return f"({self.render(node)}) {self._alias()}"
+
+    # -- per-operator rendering ---------------------------------------------------------
+
+    def render(self, node: Operator) -> str:
+        if isinstance(node, (Scan, TransferD)):
+            item = self._from_item(node)
+            alias = item.rsplit(" ", 1)[1]
+            columns = ", ".join(
+                f"{alias}.{a.name} AS {a.name}" for a in node.schema
+            )
+            return f"SELECT {columns}\nFROM {item}"
+        if isinstance(node, Select):
+            return self._render_select(node)
+        if isinstance(node, Project):
+            return self._render_project(node)
+        if isinstance(node, Sort):
+            # Interior sort: the DBMS gives no mid-plan order guarantee, so
+            # the sort is translated away (multiset equivalence).
+            return self.render(node.input)
+        if isinstance(node, Dedup):
+            inner = self._from_item(node.input)
+            return f"SELECT DISTINCT *\nFROM {inner}"
+        if isinstance(node, Product):
+            return self._render_product(node)
+        if isinstance(node, TemporalJoin):
+            return self._render_temporal_join(node)
+        if isinstance(node, Join):
+            return self._render_join(node)
+        if isinstance(node, TemporalAggregate):
+            return self._render_taggr(node)
+        raise PlanError(f"no SQL translation for {node.name} in the DBMS")
+
+    def _render_select(self, node: Select) -> str:
+        item = self._from_item(node.input)
+        return (
+            f"SELECT *\nFROM {item}\nWHERE {node.predicate.to_sql()}"
+        )
+
+    def _render_project(self, node: Project) -> str:
+        item = self._from_item(node.input)
+        outputs = ", ".join(
+            _render_output(name, expression) for name, expression in node.outputs
+        )
+        return f"SELECT {outputs}\nFROM {item}"
+
+    def _render_product(self, node: Product) -> str:
+        left = self._from_item(node.left)
+        right = self._from_item(node.right)
+        left_alias = left.rsplit(" ", 1)[1]
+        right_alias = right.rsplit(" ", 1)[1]
+        outputs = _combined_outputs(node, left_alias, right_alias)
+        return f"SELECT {outputs}\nFROM {left}, {right}"
+
+    def _render_join(self, node: Join) -> str:
+        left = self._from_item(node.left)
+        right = self._from_item(node.right)
+        left_alias = left.rsplit(" ", 1)[1]
+        right_alias = right.rsplit(" ", 1)[1]
+        outputs = _combined_outputs(node, left_alias, right_alias)
+        condition = (
+            f"{left_alias}.{node.left_attr} = {right_alias}.{node.right_attr}"
+        )
+        if node.residual is not None:
+            condition += f" AND {_qualify(node, node.residual, left_alias, right_alias)}"
+        return f"SELECT {outputs}\nFROM {left}, {right}\nWHERE {condition}"
+
+    def _render_temporal_join(self, node: TemporalJoin) -> str:
+        left = self._from_item(node.left)
+        right = self._from_item(node.right)
+        a = left.rsplit(" ", 1)[1]
+        b = right.rsplit(" ", 1)[1]
+        t1, t2 = node.period
+        skip = {t1.lower(), t2.lower()}
+        outputs: list[str] = []
+        schema_names = iter(node.schema.names)
+        for attribute in node.left.schema:
+            if attribute.name.lower() in skip:
+                continue
+            outputs.append(f"{a}.{attribute.name} AS {next(schema_names)}")
+        for attribute in node.right.schema:
+            if attribute.name.lower() in skip:
+                continue
+            outputs.append(f"{b}.{attribute.name} AS {next(schema_names)}")
+        outputs.append(f"GREATEST({a}.{t1}, {b}.{t1}) AS {t1}")
+        outputs.append(f"LEAST({a}.{t2}, {b}.{t2}) AS {t2}")
+        condition = (
+            f"{a}.{node.left_attr} = {b}.{node.right_attr} "
+            f"AND {a}.{t1} < {b}.{t2} AND {a}.{t2} > {b}.{t1}"
+        )
+        return (
+            f"SELECT {', '.join(outputs)}\nFROM {left}, {right}\nWHERE {condition}"
+        )
+
+    def _render_taggr(self, node: TemporalAggregate) -> str:
+        """The constant-interval SQL rewrite of temporal aggregation.
+
+        Shape (for grouping attributes G and period T1/T2):
+
+        1. ``instants``: all T1 and T2 values per G (``UNION`` dedups);
+        2. ``intervals``: each instant paired with the next instant of the
+           same group (``MIN`` over later instants);
+        3. count/aggregate the argument tuples whose period covers each
+           interval.
+
+        Intervals covered by no tuple vanish via the inner join, so the
+        result matches ``TAGGR^M`` exactly (Figure 3(c)).
+        """
+        source = self._from_item(node.input)
+        t1, t2 = node.period
+        group = list(node.group_by)
+        group_cols = ", ".join(group) if group else ""
+
+        def instants() -> str:
+            prefix = f"{group_cols}, " if group else ""
+            return (
+                f"SELECT {prefix}{t1} AS TS FROM {source} "
+                f"UNION SELECT {prefix}{t2} FROM {self._from_item(node.input)}"
+            )
+
+        i1 = self._alias()
+        i2 = self._alias()
+        join_groups = " AND ".join(
+            f"{i1}.{g} = {i2}.{g}" for g in group
+        )
+        group_select = ", ".join(f"{i1}.{g} AS {g}" for g in group)
+        interval_group_by = ", ".join([f"{i1}.{g}" for g in group] + [f"{i1}.TS"])
+        intervals = (
+            "SELECT "
+            + (group_select + ", " if group else "")
+            + f"{i1}.TS AS TS, MIN({i2}.TS) AS TE\n"
+            + f"FROM ({instants()}) {i1}, ({instants()}) {i2}\n"
+            + "WHERE "
+            + (join_groups + " AND " if group else "")
+            + f"{i1}.TS < {i2}.TS\n"
+            + f"GROUP BY {interval_group_by}"
+        )
+
+        iv = self._alias()
+        arg = self._from_item(node.input)
+        p = arg.rsplit(" ", 1)[1]
+        final_outputs = [f"{iv}.{g} AS {g}" for g in group]
+        final_outputs.append(f"{iv}.TS AS {t1}")
+        final_outputs.append(f"{iv}.TE AS {t2}")
+        for spec in node.aggregates:
+            if spec.func == "COUNT":
+                final_outputs.append(f"COUNT(*) AS {spec.output_name}")
+            else:
+                final_outputs.append(
+                    f"{spec.func}({p}.{spec.attribute}) AS {spec.output_name}"
+                )
+        match_groups = " AND ".join(f"{p}.{g} = {iv}.{g}" for g in group)
+        final_group_by = ", ".join(
+            [f"{iv}.{g}" for g in group] + [f"{iv}.TS", f"{iv}.TE"]
+        )
+        return (
+            f"SELECT {', '.join(final_outputs)}\n"
+            f"FROM ({intervals}) {iv}, {arg}"
+            + "\nWHERE "
+            + (match_groups + " AND " if group else "")
+            + f"{p}.{t1} <= {iv}.TS AND {iv}.TE <= {p}.{t2}\n"
+            + f"GROUP BY {final_group_by}"
+        )
+
+
+def _render_output(name: str, expression: Expression) -> str:
+    rendered = expression.to_sql()
+    if rendered.lower() == name.lower():
+        return rendered
+    return f"{rendered} AS {name}"
+
+
+def _combined_outputs(node: Operator, left_alias: str, right_alias: str) -> str:
+    """SELECT list renaming both sides to the operator's derived schema
+    (which disambiguates duplicate names with ``_2`` suffixes)."""
+    left_schema = node.inputs[0].schema
+    outputs: list[str] = []
+    names = node.schema.names
+    for position, name in enumerate(names):
+        if position < len(left_schema):
+            source = f"{left_alias}.{left_schema[position].name}"
+        else:
+            right_attr = node.inputs[1].schema[position - len(left_schema)].name
+            source = f"{right_alias}.{right_attr}"
+        outputs.append(f"{source} AS {name}")
+    return ", ".join(outputs)
+
+
+def _qualify(
+    node: Join, expression: Expression, left_alias: str, right_alias: str
+) -> str:
+    """Render a residual predicate with column references qualified.
+
+    Residual attributes use the join's *output* names (right-side duplicates
+    carry ``_2`` suffixes); they are mapped back to the underlying source
+    column on the owning side.
+    """
+    from repro.algebra.expressions import ColumnRef
+    from repro.algebra.rewrite import transform
+
+    left_schema = node.left.schema
+    right_schema = node.right.schema
+    mapping: dict[str, str] = {}
+    for position, name in enumerate(node.schema.names):
+        if position < len(left_schema):
+            source = f"{left_alias}.{left_schema[position].name}"
+        else:
+            source = f"{right_alias}.{right_schema[position - len(left_schema)].name}"
+        mapping[name.lower()] = source
+
+    def visit(expr: Expression) -> Expression | None:
+        if isinstance(expr, ColumnRef):
+            qualified = mapping.get(expr.name.lower())
+            if qualified is None:
+                raise PlanError(
+                    f"residual references {expr.name!r}, not in the join output"
+                )
+            return ColumnRef(qualified)
+        return None
+
+    return transform(expression, visit).to_sql()

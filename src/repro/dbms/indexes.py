@@ -1,0 +1,100 @@
+"""Ordered (B-tree-like) single-column indexes.
+
+MiniDB indexes are sorted ``(key, row_position)`` arrays probed with
+:mod:`bisect` — logarithmic lookups like a B-tree without the bookkeeping.
+Index availability and clustering are recorded in the catalog statistics,
+which is all the middleware optimizer reads (Section 3).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.dbms.costmodel import CostMeter
+from repro.dbms.table import Table
+from repro.errors import DatabaseError
+
+
+class Index:
+    """A sorted single-column index over a :class:`Table`."""
+
+    def __init__(self, name: str, table: Table, column: str, clustered: bool = False):
+        if not table.schema.has(column):
+            raise DatabaseError(f"cannot index unknown column {column!r} of {table.name}")
+        self.name = name
+        self.table = table
+        self.column = column
+        self.clustered = clustered
+        self._position = table.schema.index_of(column)
+        self._keys: list = []
+        self._row_ids: list[int] = []
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Re-sort the index after table mutations."""
+        entries = sorted(
+            (row[self._position], row_id) for row_id, row in enumerate(self.table.rows)
+        )
+        self._keys = [key for key, _ in entries]
+        self._row_ids = [row_id for _, row_id in entries]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def height(self) -> int:
+        """Simulated B-tree height (for index-scan I/O charging)."""
+        entries = max(2, len(self._keys))
+        height = 1
+        fanout = 200
+        capacity = fanout
+        while capacity < entries:
+            capacity *= fanout
+            height += 1
+        return height
+
+    # -- probes ------------------------------------------------------------------
+
+    def lookup(self, key: object, meter: CostMeter | None = None) -> Iterator[tuple]:
+        """Yield rows with ``column == key``."""
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        if meter is not None:
+            meter.charge_io(self.height)
+            matched = right - left
+            if not self.clustered:
+                meter.charge_io(matched)  # one block fetch per matched row
+            else:
+                meter.charge_io(max(1, matched // self.table.rows_per_block()))
+            meter.charge_cpu(matched)
+        rows = self.table.rows
+        for i in range(left, right):
+            yield rows[self._row_ids[i]]
+
+    def range_scan(
+        self,
+        low: object | None,
+        high: object | None,
+        meter: CostMeter | None = None,
+        include_high: bool = False,
+    ) -> Iterator[tuple]:
+        """Yield rows with ``low <= column < high`` (or ``<= high``)."""
+        left = 0 if low is None else bisect.bisect_left(self._keys, low)
+        if high is None:
+            right = len(self._keys)
+        elif include_high:
+            right = bisect.bisect_right(self._keys, high)
+        else:
+            right = bisect.bisect_left(self._keys, high)
+        matched = max(0, right - left)
+        if meter is not None:
+            meter.charge_io(self.height)
+            if self.clustered:
+                meter.charge_io(max(1, matched // self.table.rows_per_block()))
+            else:
+                meter.charge_io(matched)
+            meter.charge_cpu(matched)
+        rows = self.table.rows
+        for i in range(left, right):
+            yield rows[self._row_ids[i]]

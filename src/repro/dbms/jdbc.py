@@ -1,0 +1,162 @@
+"""A JDBC-flavoured connection/cursor API over MiniDB.
+
+The middleware reaches the DBMS exclusively through this interface, matching
+the paper's architecture ("accesses the DBMS using a JDBC interface").  The
+cursor models *row prefetch*: rows travel from the engine to the client in
+batches of ``prefetch`` rows, and every round trip costs a fixed overhead on
+top of the per-row transfer cost.  Section 3.2 notes that the Oracle
+row-prefetch setting visibly affects ``TRANSFER^M`` — the ablation benchmark
+``bench_ablation_prefetch`` reproduces that effect against this model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.algebra.schema import Schema
+from repro.dbms.database import MiniDB
+from repro.dbms.loader import DirectPathLoader
+from repro.dbms.sql.executor import ResultSet
+from repro.errors import DatabaseError
+
+#: Default JDBC row-prefetch (Oracle's historical default is 10).
+DEFAULT_PREFETCH = 10
+
+#: Simulated CPU cost of one client-server round trip.
+ROUND_TRIP_COST = 200
+
+#: Simulated CPU cost per transferred byte (marshalling + network).
+PER_BYTE_COST = 1 / 16
+
+
+class Cursor:
+    """A forward-only cursor with batched row delivery."""
+
+    def __init__(self, connection: "Connection", prefetch: int):
+        self._connection = connection
+        self.prefetch = max(1, prefetch)
+        self._result: ResultSet | None = None
+        self._iterator: Iterator[tuple] | None = None
+        self._buffer: list[tuple] = []
+        self._buffer_pos = 0
+        self._exhausted = False
+        self.rowcount = -1
+
+    # -- statement execution ------------------------------------------------------
+
+    def execute(self, sql: str) -> "Cursor":
+        db = self._connection.db
+        outcome = db.execute(sql)
+        if isinstance(outcome, ResultSet):
+            self._result = outcome
+            self._iterator = iter(outcome)
+            self._buffer = []
+            self._buffer_pos = 0
+            self._exhausted = False
+            self.rowcount = -1
+        else:
+            self._result = None
+            self._iterator = None
+            self.rowcount = outcome
+        return self
+
+    @property
+    def schema(self) -> Schema:
+        if self._result is None:
+            raise DatabaseError("no open result set")
+        return self._result.schema
+
+    @property
+    def description(self) -> list[tuple[str, str]]:
+        """DB-API-ish column descriptions: (name, type name)."""
+        return [(a.name, a.type.value) for a in self.schema]
+
+    # -- fetching -------------------------------------------------------------------
+
+    def _refill(self) -> None:
+        """Pull the next prefetch batch across the simulated wire."""
+        assert self._iterator is not None
+        batch: list[tuple] = []
+        row_width = self.schema.row_width
+        for row in self._iterator:
+            batch.append(row)
+            if len(batch) >= self.prefetch:
+                break
+        meter = self._connection.db.meter
+        meter.charge_cpu(ROUND_TRIP_COST)
+        meter.charge_cpu(int(len(batch) * row_width * PER_BYTE_COST))
+        if len(batch) < self.prefetch:
+            self._exhausted = True
+        self._buffer = batch
+        self._buffer_pos = 0
+
+    def fetchone(self) -> tuple | None:
+        if self._result is None:
+            raise DatabaseError("no open result set")
+        if self._buffer_pos >= len(self._buffer):
+            if self._exhausted:
+                return None
+            self._refill()
+            if not self._buffer:
+                return None
+        row = self._buffer[self._buffer_pos]
+        self._buffer_pos += 1
+        return row
+
+    def fetchmany(self, count: int) -> list[tuple]:
+        rows: list[tuple] = []
+        for _ in range(count):
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetchall(self) -> list[tuple]:
+        rows: list[tuple] = []
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return rows
+            rows.append(row)
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._result = None
+        self._iterator = None
+        self._buffer = []
+
+
+class Connection:
+    """A client connection to a MiniDB instance."""
+
+    def __init__(self, db: MiniDB, prefetch: int = DEFAULT_PREFETCH):
+        self.db = db
+        self.prefetch = prefetch
+        self._loader = DirectPathLoader(db)
+
+    def cursor(self, prefetch: int | None = None) -> Cursor:
+        return Cursor(self, prefetch if prefetch is not None else self.prefetch)
+
+    def execute(self, sql: str) -> Cursor:
+        """Shorthand: new cursor, execute, return it."""
+        return self.cursor().execute(sql)
+
+    def bulk_load(
+        self,
+        table_name: str,
+        schema: Schema,
+        rows: "Sequence[tuple] | list[tuple]",
+        order: Sequence[str] = (),
+    ) -> int:
+        """Direct-path load (the ``TRANSFER^D`` fast path)."""
+        return self._loader.load(table_name, schema, rows, order)
+
+    def drop_temp(self, table_name: str) -> None:
+        self._loader.unload(table_name)

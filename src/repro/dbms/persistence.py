@@ -1,0 +1,127 @@
+"""Save/load a MiniDB to disk.
+
+A database directory contains ``catalog.json`` (table schemas, clustered
+orders, index definitions) and one ``<table>.csv`` per relation.  DATE
+values are stored as their integer day numbers, matching the in-memory
+representation; NULLs as empty fields with a marker column-type aware
+decode.
+
+This is deliberately simple durability — enough to persist a workload
+between sessions and to ship reproducible datasets, not a WAL.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.dbms.database import MiniDB
+from repro.errors import DatabaseError
+
+_CATALOG_FILE = "catalog.json"
+_NULL_MARKER = "\\N"
+
+
+def _encode_value(value: object) -> str:
+    if value is None:
+        return _NULL_MARKER
+    return str(value)
+
+
+def _decode_value(text: str, attr_type: AttrType) -> object:
+    if text == _NULL_MARKER:
+        return None
+    if attr_type in (AttrType.INT, AttrType.DATE):
+        return int(text)
+    if attr_type is AttrType.FLOAT:
+        return float(text)
+    return text
+
+
+def save_database(db: MiniDB, directory: str | Path) -> Path:
+    """Write every table (and index definition) of *db* under *directory*.
+
+    Temporary tables are skipped — they belong to in-flight queries.
+    Returns the directory path.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    catalog: dict = {"tables": [], "indexes": []}
+    for name in db.list_tables():
+        table = db.table(name)
+        if table.temporary:
+            continue
+        catalog["tables"].append(
+            {
+                "name": table.name,
+                "columns": [
+                    {
+                        "name": attribute.name,
+                        "type": attribute.type.value,
+                        "width": attribute.width,
+                    }
+                    for attribute in table.schema
+                ],
+                "clustered_order": list(table.clustered_order),
+            }
+        )
+        with open(root / f"{table.name}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            for row in table.rows:
+                writer.writerow([_encode_value(value) for value in row])
+        for index in db.indexes_on(name):
+            catalog["indexes"].append(
+                {
+                    "name": index.name,
+                    "table": table.name,
+                    "column": index.column,
+                    "clustered": index.clustered,
+                }
+            )
+    with open(root / _CATALOG_FILE, "w") as handle:
+        json.dump(catalog, handle, indent=2)
+    return root
+
+
+def load_database(directory: str | Path, db: MiniDB | None = None) -> MiniDB:
+    """Recreate a MiniDB from a directory written by :func:`save_database`.
+
+    Loads into *db* when given (names must not collide), else into a fresh
+    instance.  Statistics are not persisted — run ANALYZE (or
+    ``Tango.refresh_statistics``) after loading.
+    """
+    root = Path(directory)
+    catalog_path = root / _CATALOG_FILE
+    if not catalog_path.exists():
+        raise DatabaseError(f"no {_CATALOG_FILE} in {root}")
+    with open(catalog_path) as handle:
+        catalog = json.load(handle)
+
+    database = db if db is not None else MiniDB()
+    for entry in catalog["tables"]:
+        schema = Schema(
+            Attribute(
+                column["name"], AttrType(column["type"]), column.get("width")
+            )
+            for column in entry["columns"]
+        )
+        table = database.create_table(entry["name"], schema)
+        data_path = root / f"{entry['name']}.csv"
+        if data_path.exists():
+            types = [attribute.type for attribute in schema]
+            with open(data_path, newline="") as handle:
+                rows = [
+                    tuple(
+                        _decode_value(text, attr_type)
+                        for text, attr_type in zip(record, types)
+                    )
+                    for record in csv.reader(handle)
+                ]
+            table.bulk_load(rows, order=entry.get("clustered_order", ()))
+    for entry in catalog.get("indexes", []):
+        database.create_index(
+            entry["name"], entry["table"], entry["column"], entry["clustered"]
+        )
+    return database

@@ -1,0 +1,23 @@
+"""MiniDB's SQL subset.
+
+The dialect covers what TANGO's Translator-To-SQL emits and what the
+benchmark queries need:
+
+* ``SELECT [DISTINCT] ... FROM t [alias], (SELECT ...) alias, ...``
+  with ``WHERE``, ``GROUP BY``, ``HAVING``, ``ORDER BY``,
+  ``UNION``/``UNION ALL``;
+* scalar functions ``GREATEST``/``LEAST``/``ABS``, aggregates
+  ``COUNT/SUM/AVG/MIN/MAX`` (including ``COUNT(*)``);
+* ``DATE 'YYYY-MM-DD'`` literals (stored as integer day numbers);
+* optimizer hints ``/*+ USE_NL */`` and ``/*+ USE_MERGE */`` — the paper
+  sets Oracle's join method this way in Query 4;
+* DDL/DML: ``CREATE TABLE``, ``CREATE INDEX``, ``INSERT`` (``VALUES`` and
+  ``SELECT`` forms), ``DELETE``, ``DROP TABLE``, and
+  ``ANALYZE TABLE ... COMPUTE STATISTICS``.
+"""
+
+from repro.dbms.sql.parser import parse_statement, parse_expression
+from repro.dbms.sql.planner import plan_select
+from repro.dbms.sql.executor import ResultSet
+
+__all__ = ["parse_statement", "parse_expression", "plan_select", "ResultSet"]

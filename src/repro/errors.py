@@ -1,0 +1,59 @@
+"""Exception hierarchy for the TANGO reproduction.
+
+Every error raised by the package derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+architectural layers: the MiniDB substrate, the middleware execution engine,
+and the optimizer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """Schema construction or attribute-resolution failure."""
+
+
+class ExpressionError(ReproError):
+    """Malformed or mistyped scalar expression / predicate."""
+
+
+class PlanError(ReproError):
+    """Ill-formed logical or physical query plan."""
+
+
+class DatabaseError(ReproError):
+    """Base class for MiniDB errors."""
+
+
+class SQLSyntaxError(DatabaseError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(DatabaseError):
+    """Unknown table/column, duplicate table, or other catalog problem."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while evaluating a query."""
+
+
+class OptimizerError(ReproError):
+    """Optimizer failed to produce a plan."""
+
+
+class CalibrationError(ReproError):
+    """Cost-factor calibration failed (e.g. degenerate sample set)."""
+
+
+class StatisticsError(ReproError):
+    """Requested statistics are unavailable or inconsistent."""

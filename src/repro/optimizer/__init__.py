@@ -1,0 +1,34 @@
+"""The TANGO middleware optimizer.
+
+An extended Volcano-style optimizer (Section 4):
+
+* :mod:`repro.optimizer.memo` — equivalence classes and class elements, the
+  measures the paper reports per query (e.g. "12 equivalence classes with
+  29 class elements" for Query 1);
+* :mod:`repro.optimizer.rules` — the transformation rules T1-T12 and
+  equivalences E1-E5, typed by list/multiset equivalence;
+* :mod:`repro.optimizer.costs` — the Figure 6 cost formulas plus "generic"
+  DBMS formulas, and a whole-plan coster;
+* :mod:`repro.optimizer.physical` — algorithm selection and plan validity
+  (transfer structure, sorted-input prerequisites);
+* :mod:`repro.optimizer.search` — the two-phase optimization driver;
+* :mod:`repro.optimizer.calibration` — Du-et-al-style cost-factor
+  calibration from sample queries.
+"""
+
+from repro.optimizer.costs import CostFactors, PlanCoster
+from repro.optimizer.memo import Memo
+from repro.optimizer.search import Optimizer, OptimizationResult
+from repro.optimizer.physical import validate_plan, PlanValidityError
+from repro.optimizer.calibration import Calibrator
+
+__all__ = [
+    "CostFactors",
+    "PlanCoster",
+    "Memo",
+    "Optimizer",
+    "OptimizationResult",
+    "validate_plan",
+    "PlanValidityError",
+    "Calibrator",
+]

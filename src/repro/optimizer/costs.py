@@ -1,0 +1,311 @@
+"""Cost formulas (Figure 6) and the whole-plan coster.
+
+Each formula weighs ``size(r)`` — cardinality × average tuple size — with a
+cost factor ``p``.  Return values are microseconds.  "Conceptually, the cost
+of an algorithm consists of an initialization cost, the cost of processing
+the argument tuples, and the cost of forming the output tuples.  The
+initialization costs of all algorithms are set to zero, as are the costs of
+forming the outputs for sorting, selection, and projection.  In addition, we
+assume a zero cost for selection and projection in the DBMS."
+
+Beyond Figure 6, the optimizer carries "generic" formulas for DBMS join,
+Cartesian product, sorting, full table scan (the paper keeps these in the
+technical report [20]); we use simple linear/size-based shapes with factors
+fitted by :mod:`repro.optimizer.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.algebra.expressions import Comparison, Expression
+from repro.algebra.operators import (
+    Coalesce,
+    Dedup,
+    Difference,
+    Join,
+    Location,
+    Operator,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferD,
+    TransferM,
+)
+from repro.algebra.rewrite import collect
+from repro.errors import OptimizerError
+from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.collector import RelationStats
+
+
+@dataclass(frozen=True)
+class CostFactors:
+    """Calibrated weights for the cost formulas (microseconds per byte,
+    unless noted).  Defaults are rough pure-Python magnitudes; run
+    :class:`repro.optimizer.calibration.Calibrator` to fit them to the
+    current machine and DBMS."""
+
+    # Figure 6 factors.  Section 3.2: transfer performance "depends on the
+    # number and size of the tuples transferred" — hence both a per-tuple
+    # and a per-byte coefficient for the transfer algorithms.
+    p_tm: float = 0.030      # TRANSFER^M per byte moved
+    p_tmr: float = 1.0       # TRANSFER^M per tuple moved
+    p_td: float = 0.050      # TRANSFER^D per byte loaded
+    p_tdr: float = 0.5       # TRANSFER^D per tuple loaded
+    p_sem: float = 0.010     # FILTER^M per byte per predicate-complexity unit
+    p_taggm1: float = 0.020  # TAGGR^M per input byte (includes internal sort)
+    p_taggm2: float = 0.010  # TAGGR^M per output byte
+    p_taggd1: float = 2.0    # TAGGR^D per input byte (the SQL rewrite)
+    p_taggd2: float = 0.20   # TAGGR^D per output byte
+    # Middleware algorithms beyond Figure 6 (shapes from [20]).
+    p_sortm: float = 0.004   # SORT^M per byte per log2(cardinality)
+    p_joinm: float = 0.015   # middleware merge join per byte touched
+    p_tjoinm: float = 0.020  # middleware temporal join per byte touched
+    p_projm: float = 0.004   # middleware projection per byte
+    p_dedupm: float = 0.010  # middleware duplicate elimination per byte
+    p_coalm: float = 0.012   # middleware coalescing per byte
+    p_diffm: float = 0.010   # middleware difference per byte
+    # Generic DBMS formulas.
+    p_scand: float = 0.004   # full table scan per byte
+    p_sortd: float = 0.002   # DBMS sort per byte per log2(cardinality)
+    p_joind: float = 0.010   # generic DBMS join per byte touched
+    p_prodd: float = 0.008   # Cartesian product per output byte
+
+
+def predicate_complexity(predicate: Expression) -> float:
+    """The Figure 6 ``f(P)`` coefficient: comparison count of the condition."""
+    comparisons = collect(predicate, Comparison)
+    return float(max(1, len(comparisons)))
+
+
+def _log_cardinality(stats: RelationStats) -> float:
+    return max(1.0, math.log2(max(2.0, stats.cardinality)))
+
+
+class AlgorithmCosts:
+    """Per-algorithm cost functions, shared by the plan coster and the
+    memo-extraction DP."""
+
+    def __init__(self, factors: CostFactors):
+        self.factors = factors
+
+    # -- transfers -------------------------------------------------------------
+
+    def transfer_m(self, input_stats: RelationStats) -> float:
+        return (
+            self.factors.p_tmr * input_stats.cardinality
+            + self.factors.p_tm * input_stats.size
+        )
+
+    def transfer_d(self, input_stats: RelationStats) -> float:
+        return (
+            self.factors.p_tdr * input_stats.cardinality
+            + self.factors.p_td * input_stats.size
+        )
+
+    # -- middleware algorithms ----------------------------------------------------
+
+    def filter_m(self, predicate: Expression, input_stats: RelationStats) -> float:
+        return (
+            self.factors.p_sem
+            * predicate_complexity(predicate)
+            * input_stats.size
+        )
+
+    def project_m(self, input_stats: RelationStats) -> float:
+        return self.factors.p_projm * input_stats.size
+
+    def sort_m(self, input_stats: RelationStats) -> float:
+        return self.factors.p_sortm * input_stats.size * _log_cardinality(input_stats)
+
+    def taggr_m(
+        self, input_stats: RelationStats, output_stats: RelationStats
+    ) -> float:
+        # The external sort on (G, T1) is a separate plan operator; the
+        # internal T2 sort is folded into p_taggm1 (Section 3.4).
+        return (
+            self.factors.p_taggm1 * input_stats.size
+            + self.factors.p_taggm2 * output_stats.size
+        )
+
+    def join_m(
+        self,
+        left_stats: RelationStats,
+        right_stats: RelationStats,
+        output_stats: RelationStats,
+    ) -> float:
+        touched = left_stats.size + right_stats.size + output_stats.size
+        return self.factors.p_joinm * touched
+
+    def temporal_join_m(
+        self,
+        left_stats: RelationStats,
+        right_stats: RelationStats,
+        output_stats: RelationStats,
+    ) -> float:
+        touched = left_stats.size + right_stats.size + output_stats.size
+        return self.factors.p_tjoinm * touched
+
+    def dedup_m(self, input_stats: RelationStats) -> float:
+        return self.factors.p_dedupm * input_stats.size
+
+    def coalesce_m(self, input_stats: RelationStats) -> float:
+        return self.factors.p_coalm * input_stats.size
+
+    def difference_m(
+        self, left_stats: RelationStats, right_stats: RelationStats
+    ) -> float:
+        return self.factors.p_diffm * (left_stats.size + right_stats.size)
+
+    # -- generic DBMS algorithms -----------------------------------------------------
+
+    def scan_d(self, stats: RelationStats) -> float:
+        return self.factors.p_scand * stats.size
+
+    def sort_d(self, input_stats: RelationStats) -> float:
+        return self.factors.p_sortd * input_stats.size * _log_cardinality(input_stats)
+
+    def join_d(
+        self,
+        left_stats: RelationStats,
+        right_stats: RelationStats,
+        output_stats: RelationStats,
+    ) -> float:
+        # Generic: the middleware does not know which join algorithm the
+        # DBMS will pick, so one formula covers them all (Section 3.1).
+        touched = left_stats.size + right_stats.size + output_stats.size
+        sorts = self.sort_d(left_stats) + self.sort_d(right_stats)
+        return self.factors.p_joind * touched + sorts
+
+    def join_d_indexed(
+        self,
+        left_stats: RelationStats,
+        output_stats: RelationStats,
+    ) -> float:
+        """Generic DBMS join when the inner join attribute is indexed
+        (index availability is part of the collected statistics, Section 3):
+        the DBMS can drive an index nested loop, touching only the outer
+        input and the matching rows."""
+        touched = left_stats.size + output_stats.size
+        return self.factors.p_joind * touched
+
+    def product_d(
+        self,
+        left_stats: RelationStats,
+        right_stats: RelationStats,
+        output_stats: RelationStats,
+    ) -> float:
+        __ = left_stats, right_stats
+        return self.factors.p_prodd * output_stats.size
+
+    def taggr_d(
+        self, input_stats: RelationStats, output_stats: RelationStats
+    ) -> float:
+        return (
+            self.factors.p_taggd1 * input_stats.size
+            + self.factors.p_taggd2 * output_stats.size
+        )
+
+
+class PlanCoster:
+    """Estimates the total cost of a complete logical plan tree.
+
+    Walks the tree once; each node contributes its algorithm cost given the
+    statistics of its inputs and output (derived by the
+    :class:`~repro.stats.cardinality.CardinalityEstimator`).
+    """
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        factors: CostFactors | None = None,
+    ):
+        self.estimator = estimator
+        self.algorithms = AlgorithmCosts(factors or CostFactors())
+
+    def cost(self, plan: Operator) -> float:
+        """Total estimated cost of *plan* in microseconds."""
+        total = self.node_cost(plan)
+        for child in plan.inputs:
+            total += self.cost(child)
+        return total
+
+    def breakdown(self, plan: Operator) -> list[tuple[str, float]]:
+        """(node label, node cost) pairs in pre-order — ``explain`` fodder."""
+        rows = [(plan.describe(), self.node_cost(plan))]
+        for child in plan.inputs:
+            rows.extend(self.breakdown(child))
+        return rows
+
+    def node_cost(self, plan: Operator) -> float:
+        """Cost of one node, excluding its subtree."""
+        algorithms = self.algorithms
+        estimate = self.estimator.estimate
+        in_middleware = plan.location is Location.MIDDLEWARE
+
+        if isinstance(plan, Scan):
+            return algorithms.scan_d(estimate(plan))
+        if isinstance(plan, TransferM):
+            return algorithms.transfer_m(estimate(plan.input))
+        if isinstance(plan, TransferD):
+            return algorithms.transfer_d(estimate(plan.input))
+        if isinstance(plan, Select):
+            if in_middleware:
+                return algorithms.filter_m(plan.predicate, estimate(plan.input))
+            return 0.0  # selection in the DBMS is free (Section 3.1)
+        if isinstance(plan, Project):
+            if in_middleware:
+                return algorithms.project_m(estimate(plan.input))
+            return 0.0  # projection in the DBMS is free (Section 3.1)
+        if isinstance(plan, Sort):
+            if in_middleware:
+                return algorithms.sort_m(estimate(plan.input))
+            return algorithms.sort_d(estimate(plan.input))
+        if isinstance(plan, TemporalAggregate):
+            if in_middleware:
+                return algorithms.taggr_m(estimate(plan.input), estimate(plan))
+            return algorithms.taggr_d(estimate(plan.input), estimate(plan))
+        if isinstance(plan, TemporalJoin):
+            left, right = (estimate(child) for child in plan.inputs)
+            output = estimate(plan)
+            if in_middleware:
+                # TJOIN^M keeps each value pack sorted on T1 and stops at the
+                # first non-overlapping start, so its work tracks the actual
+                # output.
+                return algorithms.temporal_join_m(left, right, output)
+            # A generic DBMS plan evaluates the overlap predicate only after
+            # forming every key-matching pair, so the join is billed for the
+            # pre-overlap pair count.
+            pairs = self.estimator.equi_join_cardinality(
+                left, right, plan.left_attr, plan.right_attr
+            )
+            pair_stats = output.with_cardinality(max(pairs, output.cardinality))
+            return algorithms.join_d(left, right, pair_stats)
+        if isinstance(plan, Join):
+            left, right = (estimate(child) for child in plan.inputs)
+            output = estimate(plan)
+            if in_middleware:
+                return algorithms.join_m(left, right, output)
+            if right.attribute(plan.right_attr).has_index:
+                return algorithms.join_d_indexed(left, output)
+            if left.attribute(plan.left_attr).has_index:
+                return algorithms.join_d_indexed(right, output)
+            return algorithms.join_d(left, right, output)
+        if isinstance(plan, Product):
+            left, right = (estimate(child) for child in plan.inputs)
+            return algorithms.product_d(left, right, estimate(plan))
+        if isinstance(plan, Dedup):
+            if in_middleware:
+                return algorithms.dedup_m(estimate(plan.input))
+            return algorithms.sort_d(estimate(plan.input))
+        if isinstance(plan, Coalesce):
+            return algorithms.coalesce_m(estimate(plan.input))
+        if isinstance(plan, Difference):
+            left, right = (estimate(child) for child in plan.inputs)
+            return algorithms.difference_m(left, right)
+        raise OptimizerError(f"no cost rule for {type(plan).__name__}")

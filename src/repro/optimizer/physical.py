@@ -1,0 +1,120 @@
+"""Physical plan validity.
+
+A logical tree with locations *is* a physical plan in TANGO: each
+(operator, location) pair names exactly one algorithm — e.g. a
+``TemporalAggregate`` at ``MIDDLEWARE`` is ``TAGGR^M``, at ``DBMS`` it is
+the 50-line SQL rewrite ``TAGGR^D``.  What makes a plan *invalid* is
+
+* a broken transfer structure (a middleware operator feeding a DBMS
+  operator without a ``T^D`` in between, or vice versa), or
+* a middleware algorithm whose sorted-input prerequisite is not met:
+  ``TAGGR^M`` needs (grouping attributes, T1); the middleware sort-merge
+  joins need each input sorted on its join attribute (Section 4.1).
+
+:func:`validate_plan` checks both, using the order-guarantee discipline of
+:mod:`repro.algebra.properties` (middleware preserves order, the DBMS only
+delivers order through a top-level sort).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    Join,
+    Location,
+    Operator,
+    Scan,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferD,
+    TransferM,
+)
+from repro.algebra.properties import is_prefix_of, guaranteed_order
+from repro.errors import PlanError
+
+
+class PlanValidityError(PlanError):
+    """The plan cannot be executed as written."""
+
+
+def algorithm_name(plan: Operator) -> str:
+    """The executable algorithm a plan node denotes, paper notation."""
+    mapping = {
+        "TransferM": "TRANSFER^M",
+        "TransferD": "TRANSFER^D",
+        "Scan": "SCAN^D",
+    }
+    if plan.name in mapping:
+        return mapping[plan.name]
+    base = {
+        "Select": "FILTER",
+        "Project": "PROJECT",
+        "Sort": "SORT",
+        "Join": "JOIN",
+        "TemporalJoin": "TJOIN",
+        "TemporalAggregate": "TAGGR",
+        "Dedup": "DEDUP",
+        "Coalesce": "COAL",
+        "Difference": "DIFF",
+        "Product": "PRODUCT",
+    }.get(plan.name, plan.name.upper())
+    return f"{base}^{plan.location.superscript}"
+
+
+def validate_plan(plan: Operator) -> None:
+    """Raise :class:`PlanValidityError` if *plan* is not executable."""
+    for node in plan.walk():
+        _check_locations(node)
+        _check_order_prerequisites(node)
+
+
+def _check_locations(node: Operator) -> None:
+    if isinstance(node, Scan):
+        return
+    if isinstance(node, TransferM):
+        _require(node, node.input.location is Location.DBMS,
+                 "T^M input must reside in the DBMS")
+        return
+    if isinstance(node, TransferD):
+        _require(node, node.input.location is Location.MIDDLEWARE,
+                 "T^D input must reside in the middleware")
+        return
+    for child in node.inputs:
+        _require(
+            node,
+            child.location is node.location,
+            f"{algorithm_name(node)} input resides in "
+            f"{child.location.value}; a transfer operator is missing",
+        )
+
+
+def _check_order_prerequisites(node: Operator) -> None:
+    if node.location is not Location.MIDDLEWARE:
+        return
+    if isinstance(node, TemporalAggregate):
+        wanted = tuple(node.group_by) + (node.period[0],)
+        have = guaranteed_order(node.input)
+        _require(
+            node,
+            is_prefix_of(wanted, have),
+            f"TAGGR^M needs its input sorted on {wanted}, got {have or '()'}",
+        )
+    elif isinstance(node, (Join, TemporalJoin)):
+        left_order = guaranteed_order(node.left)
+        right_order = guaranteed_order(node.right)
+        _require(
+            node,
+            is_prefix_of((node.left_attr,), left_order),
+            f"{algorithm_name(node)} needs its left input sorted on "
+            f"{node.left_attr}, got {left_order or '()'}",
+        )
+        _require(
+            node,
+            is_prefix_of((node.right_attr,), right_order),
+            f"{algorithm_name(node)} needs its right input sorted on "
+            f"{node.right_attr}, got {right_order or '()'}",
+        )
+
+
+def _require(node: Operator, condition: bool, message: str) -> None:
+    if not condition:
+        raise PlanValidityError(f"{message}\nat node:\n{node.pretty()}")

@@ -1,0 +1,327 @@
+"""The paper's four benchmark queries (Section 5.2).
+
+For each query this module provides
+
+* the temporal SQL text (where expressible — Query 4 is a regular join);
+* the *initial plan* the parser would hand the optimizer (all processing in
+  the DBMS, one ``T^M`` on top — Figure 4(a));
+* the enumerated candidate plans of Figures 7 and 9 as
+  :class:`PlanSpec` values — hand-built exactly as the paper describes, so
+  the benchmark harness can measure each one and compare against the
+  optimizer's pick.
+
+Plans 2 and 3 of Query 4 set the DBMS join method with optimizer hints
+(``USE_NL`` / ``USE_MERGE``), as the paper did with Oracle; those are raw
+SQL specs rather than algebra trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.builder import scan
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.operators import Location, Operator
+from repro.algebra.schema import AttrType
+from repro.temporal.timestamps import day_of
+
+MW = Location.MIDDLEWARE
+DB = Location.DBMS
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """One enumerated candidate plan."""
+
+    name: str
+    description: str
+    plan: Operator | None = None
+    sql: str | None = None
+
+
+def _overlap_predicate(start_day: int, end_day: int):
+    """``T1 < end AND T2 > start`` — Overlaps(start, end) in SQL form."""
+    return Comparison("<", col("T1"), lit(end_day, AttrType.DATE)) & Comparison(
+        ">", col("T2"), lit(start_day, AttrType.DATE)
+    )
+
+
+# ---------------------------------------------------------------------------------
+# Query 1: temporal aggregation (Figure 7 / Figure 8)
+# ---------------------------------------------------------------------------------
+
+
+def query1_sql(table: str = "POSITION") -> str:
+    return (
+        f"VALIDTIME SELECT PosID, COUNT(PosID) FROM {table} "
+        "GROUP BY PosID ORDER BY PosID"
+    )
+
+
+def query1_initial_plan(db, table: str = "POSITION") -> Operator:
+    return (
+        scan(db, table)
+        .project("PosID", "T1", "T2")
+        .taggr(group_by=["PosID"], count="PosID")
+        .sort("PosID")
+        .to_middleware()
+        .build()
+    )
+
+
+def query1_plans(db, table: str = "POSITION") -> list[PlanSpec]:
+    base = scan(db, table).project("PosID", "T1", "T2")
+    plan1 = (
+        base.sort("PosID", "T1")
+        .to_middleware()
+        .taggr(group_by=["PosID"], count="PosID")
+        .build()
+    )
+    plan2 = (
+        base.to_middleware()
+        .sort("PosID", "T1")
+        .taggr(group_by=["PosID"], count="PosID")
+        .build()
+    )
+    plan3 = (
+        base.taggr(group_by=["PosID"], count="PosID")
+        .sort("PosID")
+        .to_middleware()
+        .build()
+    )
+    return [
+        PlanSpec("Q1-P1", "sort in DBMS, TAGGR^M in middleware", plan1),
+        PlanSpec("Q1-P2", "sort and TAGGR^M in middleware", plan2),
+        PlanSpec("Q1-P3", "everything in the DBMS (TAGGR^D)", plan3),
+    ]
+
+
+# ---------------------------------------------------------------------------------
+# Query 2: selection + temporal aggregation + temporal join (Figure 9 / Figure 10)
+# ---------------------------------------------------------------------------------
+
+Q2_PERIOD_START = "1983-01-01"
+Q2_PAY_RATE = 10.0
+
+# Query 2 nests an aggregation inside a join, which the VALIDTIME dialect
+# does not express directly; its entry point is query2_initial_plan (the
+# algebraic form the paper's parser would produce).
+_Q2_OUTPUT = ("PosID", "EmpName", "T1", "T2", "COUNTofPosID")
+
+
+def _q2_sides(db, end_date: str, table: str, select_aggregation_argument: bool):
+    """The two argument expressions of Query 2.
+
+    Aggregation side: POSITION restricted to the query period (optional —
+    Plan 5 skips it); join side: POSITION restricted to the period *and*
+    ``PayRate > 10``.
+    """
+    start = day_of(Q2_PERIOD_START)
+    end = day_of(end_date)
+    overlap = _overlap_predicate(start, end)
+    aggregation_arg = scan(db, table).project("PosID", "T1", "T2")
+    if select_aggregation_argument:
+        aggregation_arg = aggregation_arg.select(overlap)
+    pay = Comparison(">", col("PayRate"), lit(Q2_PAY_RATE))
+    join_arg = (
+        scan(db, table)
+        .project("PosID", "EmpName", "PayRate", "T1", "T2")
+        .select(overlap & pay)
+        .project("PosID", "EmpName", "T1", "T2")
+    )
+    return aggregation_arg, join_arg
+
+
+def _q2_finalize(builder, end_date: str):
+    """Sequenced-window semantics: restrict the join output to the query
+    period and clip result periods to it.
+
+    This is what makes the inner selection on the aggregation argument "not
+    needed for correctness" (the paper's Plan 5): every result row is
+    reduced to its intersection with the window, so counting outside the
+    window cannot change the answer.
+    """
+    from repro.algebra.expressions import FuncCall
+
+    start = day_of(Q2_PERIOD_START)
+    end = day_of(end_date)
+    clip = (
+        ("PosID", col("PosID")),
+        ("EmpName", col("EmpName")),
+        ("T1", FuncCall("GREATEST", [col("T1"), lit(start, AttrType.DATE)])),
+        ("T2", FuncCall("LEAST", [col("T2"), lit(end, AttrType.DATE)])),
+        ("COUNTofPosID", col("COUNTofPosID")),
+    )
+    return builder.select(_overlap_predicate(start, end)).project_exprs(clip)
+
+
+def query2_initial_plan(db, end_date: str, table: str = "POSITION") -> Operator:
+    aggregation_arg, join_arg = _q2_sides(db, end_date, table, True)
+    joined = aggregation_arg.taggr(group_by=["PosID"], count="PosID").temporal_join(
+        join_arg, "PosID", "PosID"
+    )
+    return _q2_finalize(joined, end_date).sort("PosID").to_middleware().build()
+
+
+def query2_plans(db, end_date: str, table: str = "POSITION") -> list[PlanSpec]:
+    def aggregated_mw(sort_loc: Location, select_arg: bool, filter_mw: bool):
+        """Aggregation side evaluated in the middleware (TAGGR^M)."""
+        aggregation_arg, _ = _q2_sides(db, end_date, table, select_arg and not filter_mw)
+        if filter_mw:
+            start = day_of(Q2_PERIOD_START)
+            end = day_of(end_date)
+            builder = aggregation_arg.to_middleware().select(_overlap_predicate(start, end))
+            builder = builder.sort("PosID", "T1")
+        elif sort_loc is DB:
+            builder = aggregation_arg.sort("PosID", "T1").to_middleware()
+        else:
+            builder = aggregation_arg.to_middleware().sort("PosID", "T1")
+        return builder.taggr(group_by=["PosID"], count="PosID")
+
+    def join_side(sort_loc: Location, filter_mw: bool):
+        _, join_arg = _q2_sides(db, end_date, table, True)
+        if filter_mw:
+            start = day_of(Q2_PERIOD_START)
+            end = day_of(end_date)
+            pay = Comparison(">", col("PayRate"), lit(Q2_PAY_RATE))
+            raw = scan(db, table).project("PosID", "EmpName", "PayRate", "T1", "T2")
+            builder = (
+                raw.to_middleware()
+                .select(_overlap_predicate(start, end) & pay)
+                .project("PosID", "EmpName", "T1", "T2")
+                .sort("PosID")
+            )
+        elif sort_loc is DB:
+            builder = join_arg.sort("PosID").to_middleware()
+        else:
+            builder = join_arg.to_middleware().sort("PosID")
+        return builder
+
+    def finish_in_dbms(aggregated):
+        """T^D the aggregation, temporal-join + sort in the DBMS."""
+        _, join_arg = _q2_sides(db, end_date, table, True)
+        joined = aggregated.to_dbms().temporal_join(join_arg, "PosID", "PosID")
+        return (
+            _q2_finalize(joined, end_date).sort("PosID").to_middleware().build()
+        )
+
+    def finish_in_mw(aggregated, join_builder):
+        joined = aggregated.temporal_join(join_builder, "PosID", "PosID")
+        return _q2_finalize(joined, end_date).build()
+
+    plan1 = finish_in_dbms(aggregated_mw(DB, True, False))
+    plan2 = finish_in_mw(aggregated_mw(DB, True, False), join_side(DB, False))
+    plan3 = finish_in_mw(aggregated_mw(MW, True, False), join_side(MW, False))
+    plan4 = finish_in_mw(aggregated_mw(MW, True, True), join_side(MW, True))
+    plan5 = finish_in_dbms(aggregated_mw(DB, False, False))
+
+    aggregation_arg, join_arg = _q2_sides(db, end_date, table, True)
+    joined6 = aggregation_arg.taggr(group_by=["PosID"], count="PosID").temporal_join(
+        join_arg, "PosID", "PosID"
+    )
+    plan6 = _q2_finalize(joined6, end_date).sort("PosID").to_middleware().build()
+    return [
+        PlanSpec("Q2-P1", "TAGGR^M; temporal join and sort in DBMS", plan1),
+        PlanSpec("Q2-P2", "TAGGR^M + TJOIN^M; argument sorts in DBMS", plan2),
+        PlanSpec("Q2-P3", "TAGGR^M + TJOIN^M + SORT^M", plan3),
+        PlanSpec("Q2-P4", "selection, sort, TAGGR^M, TJOIN^M all in middleware", plan4),
+        PlanSpec("Q2-P5", "like P1 but no selection on the aggregation argument", plan5),
+        PlanSpec("Q2-P6", "everything in the DBMS (TAGGR^D + TJOIN^D)", plan6),
+    ]
+
+
+# ---------------------------------------------------------------------------------
+# Query 3: temporal self-join (Figure 11(a))
+# ---------------------------------------------------------------------------------
+
+
+def query3_initial_plan(db, start_bound: str, table: str = "POSITION") -> Operator:
+    return query3_plans(db, start_bound, table)[0].plan  # Plan 1 is the initial shape
+
+
+def query3_plans(db, start_bound: str, table: str = "POSITION") -> list[PlanSpec]:
+    bound = day_of(start_bound)
+    starts_before = Comparison("<", col("T1"), lit(bound, AttrType.DATE))
+    distinct_pair = Comparison("<", col("EmpID"), col("EmpID_2"))
+
+    def side():
+        return (
+            scan(db, table)
+            .project("PosID", "EmpID", "EmpName", "T1", "T2")
+            .select(starts_before)
+        )
+
+    plan1 = (
+        side()
+        .temporal_join(side(), "PosID", "PosID")
+        .select(distinct_pair)
+        .project("PosID", "EmpName", "EmpName_2", "T1", "T2")
+        .sort("PosID")
+        .to_middleware()
+        .build()
+    )
+    plan2 = (
+        side()
+        .sort("PosID")
+        .to_middleware()
+        .temporal_join(side().sort("PosID").to_middleware(), "PosID", "PosID")
+        .select(distinct_pair)
+        .project("PosID", "EmpName", "EmpName_2", "T1", "T2")
+        .build()
+    )
+    return [
+        PlanSpec("Q3-P1", "everything in the DBMS", plan1),
+        PlanSpec("Q3-P2", "temporal join in the middleware", plan2),
+    ]
+
+
+# ---------------------------------------------------------------------------------
+# Query 4: regular join (Figure 11(b))
+# ---------------------------------------------------------------------------------
+
+
+def query4_initial_plan(db, position_table: str = "POSITION") -> Operator:
+    return (
+        scan(db, position_table)
+        .project("PosID", "EmpID")
+        .join(
+            scan(db, "EMPLOYEE").project("EmpID", "EmpName", "Address"),
+            "EmpID",
+            "EmpID",
+        )
+        .project("PosID", "EmpName", "Address")
+        .to_middleware()
+        .build()
+    )
+
+
+def query4_plans(db, position_table: str = "POSITION") -> list[PlanSpec]:
+    plan1 = (
+        scan(db, position_table)
+        .project("PosID", "EmpID")
+        .to_middleware()
+        .sort("EmpID")
+        .join(
+            scan(db, "EMPLOYEE")
+            .project("EmpID", "EmpName", "Address")
+            .to_middleware()
+            .sort("EmpID"),
+            "EmpID",
+            "EmpID",
+        )
+        .project("PosID", "EmpName", "Address")
+        .build()
+    )
+    nl_sql = (
+        "SELECT /*+ USE_NL */ P.PosID, E.EmpName, E.Address "
+        f"FROM {position_table} P, EMPLOYEE E WHERE P.EmpID = E.EmpID"
+    )
+    sm_sql = (
+        "SELECT /*+ USE_MERGE */ P.PosID, E.EmpName, E.Address "
+        f"FROM {position_table} P, EMPLOYEE E WHERE P.EmpID = E.EmpID"
+    )
+    return [
+        PlanSpec("Q4-P1", "sort-merge join in the middleware", plan1),
+        PlanSpec("Q4-P2", "nested-loop join in the DBMS (hint)", sql=nl_sql),
+        PlanSpec("Q4-P3", "sort-merge join in the DBMS (hint)", sql=sm_sql),
+    ]

@@ -1,0 +1,127 @@
+"""The cursor (result-set) protocol of the middleware Execution Engine.
+
+Figure 2 of the paper: every algorithm is wrapped in a result set exposing
+``init()`` and ``getNext()``; ``init()`` usually just sets up inner state
+but may do real work (``TRANSFER^D`` drains its whole input there).  We add
+the customary ``has_next()`` and make cursors Python iterables, so
+``for row in cursor`` works after :meth:`Cursor.init`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algebra.schema import Schema
+from repro.errors import ExecutionError
+
+#: Sentinel marking "no row buffered".
+_EMPTY = object()
+
+
+class Cursor:
+    """Abstract pipelined iterator over rows.
+
+    Subclasses implement :meth:`_open` (called once from :meth:`init`) and
+    :meth:`_next` (return the next row or raise :class:`StopIteration`).
+    Most algorithms implement ``_open`` by building a generator.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._initialized = False
+        self._closed = False
+        self._buffered: object = _EMPTY
+        #: Rows handed out so far (handy for tests and accounting).
+        self.rows_produced = 0
+
+    # -- protocol -------------------------------------------------------------------
+
+    def init(self) -> "Cursor":
+        """Prepare the cursor; idempotent."""
+        if self._closed:
+            raise ExecutionError(f"{type(self).__name__} is closed")
+        if not self._initialized:
+            self._open()
+            self._initialized = True
+        return self
+
+    def has_next(self) -> bool:
+        """True when another row is available (buffers one row ahead)."""
+        self.init()
+        if self._buffered is not _EMPTY:
+            return True
+        try:
+            self._buffered = self._next()
+        except StopIteration:
+            return False
+        return True
+
+    def next(self) -> tuple:
+        """Return the next row; raises :class:`ExecutionError` when drained."""
+        if not self.has_next():
+            raise ExecutionError(f"{type(self).__name__} has no more rows")
+        row = self._buffered
+        self._buffered = _EMPTY
+        self.rows_produced += 1
+        return row  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Release resources; further use is an error."""
+        if not self._closed:
+            self._close()
+            self._closed = True
+
+    def __iter__(self) -> Iterator[tuple]:
+        while self.has_next():
+            yield self.next()
+
+    def __enter__(self) -> "Cursor":
+        return self.init()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- subclass hooks ----------------------------------------------------------------
+
+    def _open(self) -> None:
+        """One-time setup; default does nothing."""
+
+    def _next(self) -> tuple:
+        """Produce the next row or raise StopIteration."""
+        raise NotImplementedError
+
+    def _close(self) -> None:
+        """Release resources; default does nothing."""
+
+
+class GeneratorCursor(Cursor):
+    """A cursor whose rows come from a generator built in :meth:`_generate`.
+
+    Most middleware algorithms subclass this: ``_generate`` expresses the
+    algorithm naturally while the base class provides the protocol.
+    """
+
+    def __init__(self, schema: Schema):
+        super().__init__(schema)
+        self._generator: Iterator[tuple] | None = None
+
+    def _open(self) -> None:
+        self._generator = self._generate()
+
+    def _next(self) -> tuple:
+        assert self._generator is not None
+        return next(self._generator)
+
+    def _close(self) -> None:
+        self._generator = None
+
+    def _generate(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+
+def materialize(cursor: Cursor) -> list[tuple]:
+    """Drain a cursor into a list and close it."""
+    try:
+        return list(cursor.init())
+    finally:
+        cursor.close()

@@ -1,0 +1,56 @@
+"""Duplicate elimination — a Section 7 extension operator.
+
+Two strategies:
+
+* hash-based (default) — no input-order requirement; order preserving
+  (first occurrence wins), at the price of a hash table of distinct rows;
+* sorted — for inputs already sorted on all attributes, O(1) memory.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.costmodel import CostMeter
+from repro.xxl.cursor import Cursor
+
+
+class DedupCursor(Cursor):
+    """Removes duplicate rows."""
+
+    def __init__(
+        self,
+        input: Cursor,
+        assume_sorted: bool = False,
+        meter: CostMeter | None = None,
+    ):
+        super().__init__(input.schema)
+        self._input = input
+        self._assume_sorted = assume_sorted
+        self._meter = meter
+        self._seen: set[tuple] | None = None
+        self._previous: tuple | None = None
+
+    def _open(self) -> None:
+        self._input.init()
+        self.schema = self._input.schema
+        self._seen = None if self._assume_sorted else set()
+        self._previous = None
+
+    def _next(self) -> tuple:
+        while self._input.has_next():
+            row = self._input.next()
+            if self._meter is not None:
+                self._meter.charge_cpu(1)
+            if self._assume_sorted:
+                if row != self._previous:
+                    self._previous = row
+                    return row
+            else:
+                assert self._seen is not None
+                if row not in self._seen:
+                    self._seen.add(row)
+                    return row
+        raise StopIteration
+
+    def _close(self) -> None:
+        self._input.close()
+        self._seen = None

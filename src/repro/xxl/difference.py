@@ -1,0 +1,53 @@
+"""Multiset difference — a Section 7 extension operator.
+
+``r1 - r2`` under multiset semantics: each row of ``r1`` is suppressed as
+many times as it occurs in ``r2``.  Order preserving on the left input.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dbms.costmodel import CostMeter
+from repro.errors import ExecutionError
+from repro.xxl.cursor import Cursor
+
+
+class DifferenceCursor(Cursor):
+    """Multiset difference of two union-compatible inputs."""
+
+    def __init__(self, left: Cursor, right: Cursor, meter: CostMeter | None = None):
+        super().__init__(left.schema)
+        self._left = left
+        self._right = right
+        self._meter = meter
+        self._suppress: Counter | None = None
+
+    def _open(self) -> None:
+        self._left.init()
+        self._right.init()
+        if len(self._left.schema) != len(self._right.schema):
+            raise ExecutionError("difference arguments must be union-compatible")
+        self.schema = self._left.schema
+        self._suppress = Counter()
+        for row in self._right:
+            self._suppress[row] += 1
+            if self._meter is not None:
+                self._meter.charge_cpu(1)
+
+    def _next(self) -> tuple:
+        assert self._suppress is not None
+        while self._left.has_next():
+            row = self._left.next()
+            if self._meter is not None:
+                self._meter.charge_cpu(1)
+            if self._suppress[row] > 0:
+                self._suppress[row] -= 1
+            else:
+                return row
+        raise StopIteration
+
+    def _close(self) -> None:
+        self._left.close()
+        self._right.close()
+        self._suppress = None

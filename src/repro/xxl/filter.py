@@ -1,0 +1,53 @@
+"""``FILTER^M`` — middleware selection (Section 3.3).
+
+Selection is implemented in the middleware "because it is sometimes needed
+— for example, if there is a selection between two temporal algorithms to
+be performed in the middleware, it would be inefficient to transfer the
+intermediate result to the DBMS solely for the purpose of selection."
+Order preserving.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Expression
+from repro.dbms.costmodel import CostMeter
+from repro.xxl.cursor import Cursor
+
+
+class FilterCursor(Cursor):
+    """Pipelined selection: passes through rows satisfying the predicate."""
+
+    def __init__(
+        self,
+        input: Cursor,
+        predicate: Expression,
+        meter: CostMeter | None = None,
+    ):
+        super().__init__(input.schema)
+        self._input = input
+        self._predicate_expr = predicate
+        self._predicate = None
+        self._meter = meter
+
+    @property
+    def predicate(self) -> Expression:
+        return self._predicate_expr
+
+    def _open(self) -> None:
+        self._input.init()
+        # The input schema may only be known after its init (SQLCursor).
+        self.schema = self._input.schema
+        self._predicate = self._predicate_expr.compile(self.schema)
+
+    def _next(self) -> tuple:
+        assert self._predicate is not None
+        while self._input.has_next():
+            row = self._input.next()
+            if self._meter is not None:
+                self._meter.charge_cpu(1)
+            if self._predicate(row):
+                return row
+        raise StopIteration
+
+    def _close(self) -> None:
+        self._input.close()

@@ -1,0 +1,95 @@
+"""Middleware sort-merge equi-join.
+
+"Temporal join and join are implemented as sort-merge joins" (Section 4.1):
+both inputs must arrive sorted on their join attributes (the optimizer's
+rules T2/T3 insert the sorts).  Output order: sorted on the left join
+attribute — and the algorithm is order preserving within value packs, as all
+middleware algorithms are.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algebra.expressions import Expression
+from repro.dbms.costmodel import CostMeter
+from repro.xxl.cursor import Cursor, GeneratorCursor
+
+
+def read_group(cursor: Cursor, position: int, first_row: tuple) -> tuple[list[tuple], tuple | None]:
+    """Collect the run of rows sharing ``first_row[position]``.
+
+    Returns the group and the first row of the *next* group (or ``None``).
+    """
+    value = first_row[position]
+    group = [first_row]
+    while cursor.has_next():
+        row = cursor.next()
+        if row[position] != value:
+            return group, row
+        group.append(row)
+    return group, None
+
+
+class MergeJoinCursor(GeneratorCursor):
+    """Sort-merge equi-join of two sorted inputs."""
+
+    def __init__(
+        self,
+        left: Cursor,
+        right: Cursor,
+        left_attr: str,
+        right_attr: str,
+        residual: Expression | None = None,
+        meter: CostMeter | None = None,
+    ):
+        self._left = left
+        self._right = right
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+        self._residual_expr = residual
+        self._meter = meter
+        super().__init__(left.schema)
+
+    def _open(self) -> None:
+        self._left.init()
+        self._right.init()
+        self.schema = self._left.schema.concat(self._right.schema)
+        super()._open()
+
+    def _generate(self) -> Iterator[tuple]:
+        left_pos = self._left.schema.index_of(self.left_attr)
+        right_pos = self._right.schema.index_of(self.right_attr)
+        residual = (
+            self._residual_expr.compile(self.schema)
+            if self._residual_expr is not None
+            else None
+        )
+        meter = self._meter
+
+        left_row = self._left.next() if self._left.has_next() else None
+        right_row = self._right.next() if self._right.has_next() else None
+        while left_row is not None and right_row is not None:
+            if meter is not None:
+                meter.charge_cpu(1)
+            left_value = left_row[left_pos]
+            right_value = right_row[right_pos]
+            if left_value < right_value:
+                left_row = self._left.next() if self._left.has_next() else None
+            elif left_value > right_value:
+                right_row = self._right.next() if self._right.has_next() else None
+            else:
+                left_group, left_row = read_group(self._left, left_pos, left_row)
+                right_group, right_row = read_group(self._right, right_pos, right_row)
+                for l_row in left_group:
+                    for r_row in right_group:
+                        if meter is not None:
+                            meter.charge_cpu(1)
+                        combined = l_row + r_row
+                        if residual is None or residual(combined):
+                            yield combined
+
+    def _close(self) -> None:
+        super()._close()
+        self._left.close()
+        self._right.close()

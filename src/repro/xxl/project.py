@@ -1,0 +1,53 @@
+"""Middleware projection — order preserving, duplicates kept."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.expressions import Expression, col
+from repro.algebra.schema import Attribute, Schema
+from repro.dbms.costmodel import CostMeter
+from repro.xxl.cursor import Cursor
+
+
+class ProjectCursor(Cursor):
+    """Computes ``(name, expression)`` outputs per input row."""
+
+    def __init__(
+        self,
+        input: Cursor,
+        outputs: Sequence[tuple[str, Expression]],
+        meter: CostMeter | None = None,
+    ):
+        self._input = input
+        self._outputs = tuple(outputs)
+        self._funcs: list | None = None
+        self._meter = meter
+        super().__init__(Schema([]))
+
+    @staticmethod
+    def of_columns(
+        input: Cursor, names: Sequence[str], meter: CostMeter | None = None
+    ) -> "ProjectCursor":
+        return ProjectCursor(input, [(name, col(name)) for name in names], meter)
+
+    def _open(self) -> None:
+        self._input.init()
+        source = self._input.schema
+        self.schema = Schema(
+            Attribute(name, expression.result_type(source))
+            for name, expression in self._outputs
+        )
+        self._funcs = [expression.compile(source) for _, expression in self._outputs]
+
+    def _next(self) -> tuple:
+        assert self._funcs is not None
+        if not self._input.has_next():
+            raise StopIteration
+        row = self._input.next()
+        if self._meter is not None:
+            self._meter.charge_cpu(1)
+        return tuple(func(row) for func in self._funcs)
+
+    def _close(self) -> None:
+        self._input.close()

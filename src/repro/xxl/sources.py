@@ -1,0 +1,101 @@
+"""Source cursors: in-memory relations and DBMS result sets.
+
+:class:`SQLCursor` is the ``TRANSFER^M`` algorithm's core: it issues a
+``SELECT`` over the JDBC connection on ``init()`` and streams the result
+rows into the middleware (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.algebra.schema import Schema
+from repro.dbms.costmodel import CostMeter
+from repro.xxl.cursor import Cursor
+
+
+class RelationCursor(Cursor):
+    """A cursor over an already materialized middleware relation."""
+
+    def __init__(self, schema: Schema, rows: Sequence[tuple], meter: CostMeter | None = None):
+        super().__init__(schema)
+        self._rows = rows
+        self._meter = meter
+        self._position = 0
+
+    def _open(self) -> None:
+        self._position = 0
+
+    def _next(self) -> tuple:
+        if self._position >= len(self._rows):
+            raise StopIteration
+        row = self._rows[self._position]
+        self._position += 1
+        if self._meter is not None:
+            self._meter.charge_cpu(1)
+        return row
+
+
+class SQLCursor(Cursor):
+    """Streams the rows of an SQL query from the DBMS — ``TRANSFER^M``.
+
+    The query is sent on ``init()``; rows arrive through the JDBC cursor's
+    prefetch batching.  The output schema is taken from the DBMS result-set
+    metadata.
+    """
+
+    def __init__(self, connection, sql: str, prefetch: int | None = None):
+        self._connection = connection
+        self._sql = sql
+        self._prefetch = prefetch
+        self._cursor = None
+        #: Wall-clock seconds spent fetching rows from the DBMS — the
+        #: performance-feedback signal (Section 7) for TRANSFER^M.
+        self.fetch_seconds = 0.0
+        # The schema is only known after execution; initialize lazily with a
+        # placeholder and fix it up in _open().
+        super().__init__(Schema([]))
+
+    @property
+    def sql(self) -> str:
+        return self._sql
+
+    def _open(self) -> None:
+        import time
+
+        begin = time.perf_counter()
+        self._cursor = self._connection.cursor(self._prefetch).execute(self._sql)
+        self.fetch_seconds += time.perf_counter() - begin
+        self.schema = self._cursor.schema
+
+    def _next(self) -> tuple:
+        import time
+
+        assert self._cursor is not None
+        begin = time.perf_counter()
+        row = self._cursor.fetchone()
+        self.fetch_seconds += time.perf_counter() - begin
+        if row is None:
+            raise StopIteration
+        return row
+
+    def _close(self) -> None:
+        if self._cursor is not None:
+            self._cursor.close()
+            self._cursor = None
+
+
+class IterableCursor(Cursor):
+    """Adapts any row iterable to the cursor protocol (testing helper)."""
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple]):
+        super().__init__(schema)
+        self._rows = rows
+        self._iterator: Iterator[tuple] | None = None
+
+    def _open(self) -> None:
+        self._iterator = iter(self._rows)
+
+    def _next(self) -> tuple:
+        assert self._iterator is not None
+        return next(self._iterator)

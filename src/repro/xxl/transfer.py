@@ -1,0 +1,70 @@
+"""``TRANSFER^D`` — materialize a middleware relation in the DBMS.
+
+Section 3.2: the algorithm "first creates a table in the DBMS and then loads
+data into it" via the direct-path loader; the created table's name must be
+unique and the table is dropped at the end of the query.  Figure 2: all the
+work happens in ``init()`` — the cursor itself produces no rows, it only
+gates the algorithms that follow it in the execution-ready plan.
+
+(The companion ``TRANSFER^M`` algorithm is
+:class:`repro.xxl.sources.SQLCursor`.)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.algebra.schema import Schema
+from repro.xxl.cursor import Cursor
+
+_SEQUENCE = itertools.count(1)
+
+
+def unique_temp_name(prefix: str = "TANGO_TMP") -> str:
+    """A fresh temp-table name (unique within this process)."""
+    return f"{prefix}_{next(_SEQUENCE)}"
+
+
+class TransferDCursor(Cursor):
+    """Drains its input into a new DBMS table on ``init()``.
+
+    ``order`` declares the sort order the input is known to arrive in, which
+    is recorded as the new table's clustered order.
+    """
+
+    def __init__(
+        self,
+        input: Cursor,
+        connection,
+        table_name: str | None = None,
+        order: tuple[str, ...] = (),
+    ):
+        super().__init__(Schema([]))
+        self._input = input
+        self._connection = connection
+        self.table_name = table_name or unique_temp_name()
+        self._order = order
+        self.rows_loaded = 0
+        #: Wall-clock seconds of the bulk load — the performance-feedback
+        #: signal (Section 7) for TRANSFER^D.
+        self.load_seconds = 0.0
+
+    def _open(self) -> None:
+        import time
+
+        self._input.init()
+        self.schema = self._input.schema
+        rows = list(self._input)
+        begin = time.perf_counter()
+        self.rows_loaded = self._connection.bulk_load(
+            self.table_name, self.schema, rows, self._order
+        )
+        self.load_seconds = time.perf_counter() - begin
+        self._input.close()
+
+    def _next(self) -> tuple:
+        raise StopIteration
+
+    def drop(self) -> None:
+        """End-of-query cleanup: drop the loaded temp table."""
+        self._connection.drop_temp(self.table_name)

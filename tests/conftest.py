@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+``figure3_db`` is the 3-tuple POSITION relation of the paper's Figure 3 —
+the worked example every layer is checked against.  ``uis_db`` is a small
+scaled UIS instance shared (read-only) across integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.database import MiniDB
+from repro.dbms.jdbc import Connection
+from repro.workloads.uis import load_uis
+
+
+FIGURE3_ROWS = [
+    (1, "Tom", 2, 20),
+    (1, "Jane", 5, 25),
+    (2, "Tom", 5, 10),
+]
+
+#: Figure 3(c): the temporal aggregation result.
+FIGURE3_AGGREGATION = [
+    (1, 2, 5, 1),
+    (1, 5, 20, 2),
+    (1, 20, 25, 1),
+    (2, 5, 10, 1),
+]
+
+#: Figure 3(b): the full query result (count of employees per position).
+FIGURE3_QUERY_RESULT = [
+    (1, "Tom", 2, 5, 1),
+    (1, "Tom", 5, 20, 2),
+    (1, "Jane", 5, 20, 2),
+    (1, "Jane", 20, 25, 1),
+    (2, "Tom", 5, 10, 1),
+]
+
+
+def make_figure3_db() -> MiniDB:
+    db = MiniDB()
+    db.execute(
+        "CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(16), T1 DATE, T2 DATE)"
+    )
+    values = ", ".join(
+        f"({pos}, '{name}', {t1}, {t2})" for pos, name, t1, t2 in FIGURE3_ROWS
+    )
+    db.execute(f"INSERT INTO POSITION VALUES {values}")
+    db.analyze("POSITION")
+    return db
+
+
+@pytest.fixture
+def figure3_db() -> MiniDB:
+    return make_figure3_db()
+
+
+@pytest.fixture
+def figure3_connection(figure3_db) -> Connection:
+    return Connection(figure3_db)
+
+
+@pytest.fixture(scope="session")
+def uis_db() -> MiniDB:
+    """A small UIS instance (scale 0.01).  Treat as read-only."""
+    db = MiniDB()
+    load_uis(db, scale=0.01)
+    return db
+
+
+@pytest.fixture(scope="session")
+def uis_tango(uis_db):
+    from repro.core.tango import Tango
+
+    return Tango(uis_db)

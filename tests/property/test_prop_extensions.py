@@ -1,0 +1,155 @@
+"""Property tests for the extension operators (coalesce, dedup,
+difference) and the cross-layer TAGGR equivalence (middleware algorithm vs
+the SQL rewrite executed by the DBMS)."""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.operators import AggregateSpec
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.temporal.period import coalesce_periods
+from repro.xxl.coalesce import CoalesceCursor
+from repro.xxl.cursor import materialize
+from repro.xxl.dedup import DedupCursor
+from repro.xxl.difference import DifferenceCursor
+from repro.xxl.sources import RelationCursor
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("T1", AttrType.DATE),
+        Attribute("T2", AttrType.DATE),
+    ]
+)
+
+temporal_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=15),
+    ).map(lambda t: (t[0], t[1], t[1] + t[2])),
+    max_size=25,
+)
+
+plain_rows = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=5),
+              st.integers(min_value=0, max_value=5)),
+    max_size=25,
+)
+
+
+def run_coalesce(rows):
+    ordered = sorted(rows, key=lambda row: (row[0], row[1]))
+    return materialize(CoalesceCursor(RelationCursor(SCHEMA, ordered)))
+
+
+class TestCoalesce:
+    @settings(max_examples=60, deadline=None)
+    @given(temporal_rows)
+    def test_matches_per_group_reference(self, rows):
+        result = run_coalesce(rows)
+        by_group = defaultdict(list)
+        for key, start, end in rows:
+            by_group[key].append((start, end))
+        expected = []
+        for key in sorted(by_group):
+            for start, end in coalesce_periods(by_group[key]):
+                expected.append((key, start, end))
+        assert result == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(temporal_rows)
+    def test_idempotent(self, rows):
+        once = run_coalesce(rows)
+        assert run_coalesce(once) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(temporal_rows)
+    def test_day_coverage_preserved(self, rows):
+        covered = {
+            (key, day)
+            for key, start, end in run_coalesce(rows)
+            for day in range(start, end)
+        }
+        expected = {
+            (key, day)
+            for key, start, end in rows
+            for day in range(start, end)
+        }
+        assert covered == expected
+
+
+class TestDedup:
+    @settings(max_examples=60, deadline=None)
+    @given(plain_rows)
+    def test_matches_set_semantics(self, rows):
+        schema = Schema([Attribute("A"), Attribute("B"), Attribute("C")])
+        result = materialize(DedupCursor(RelationCursor(schema, rows)))
+        assert Counter(result) == Counter(set(rows))
+
+    @settings(max_examples=60, deadline=None)
+    @given(plain_rows)
+    def test_idempotent(self, rows):
+        schema = Schema([Attribute("A"), Attribute("B"), Attribute("C")])
+        once = materialize(DedupCursor(RelationCursor(schema, rows)))
+        twice = materialize(DedupCursor(RelationCursor(schema, once)))
+        assert once == twice
+
+
+class TestDifference:
+    @settings(max_examples=60, deadline=None)
+    @given(plain_rows, plain_rows)
+    def test_matches_multiset_subtraction(self, left, right):
+        schema = Schema([Attribute("A"), Attribute("B"), Attribute("C")])
+        result = materialize(
+            DifferenceCursor(
+                RelationCursor(schema, left), RelationCursor(schema, right)
+            )
+        )
+        assert Counter(result) == Counter(left) - Counter(right)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plain_rows)
+    def test_self_difference_empty(self, rows):
+        schema = Schema([Attribute("A"), Attribute("B"), Attribute("C")])
+        result = materialize(
+            DifferenceCursor(
+                RelationCursor(schema, rows), RelationCursor(schema, rows)
+            )
+        )
+        assert result == []
+
+
+class TestTaggrCrossLayer:
+    @settings(max_examples=25, deadline=None)
+    @given(temporal_rows)
+    def test_middleware_equals_sql_rewrite(self, rows):
+        """TAGGR^M and the Translator-To-SQL's TAGGR^D rewrite must compute
+        the same relation — the equivalence the whole of Figure 8 rests on."""
+        from repro.algebra.builder import scan
+        from repro.core.translator import SQLTranslator
+        from repro.dbms.database import MiniDB
+        from repro.xxl.temporal_aggregate import TemporalAggregateCursor
+
+        db = MiniDB()
+        db.create_table("R", SCHEMA)
+        db.table("R").bulk_load(rows)
+        plan = (
+            scan(db, "R")
+            .taggr(group_by=["K"], count="K")
+            .sort("K", "T1")
+            .build()
+        )
+        dbms_rows = db.query(SQLTranslator().translate(plan))
+
+        ordered = sorted(rows, key=lambda row: (row[0], row[1]))
+        middleware_rows = materialize(
+            TemporalAggregateCursor(
+                RelationCursor(SCHEMA, ordered),
+                ("K",),
+                (AggregateSpec("COUNT", "K", "COUNTofK"),),
+            )
+        )
+        assert dbms_rows == middleware_rows

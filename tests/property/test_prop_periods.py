@@ -1,0 +1,103 @@
+"""Property tests for period algebra invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.temporal.period import (
+    Period,
+    coalesce_periods,
+    constant_intervals,
+    intersect,
+    overlaps,
+)
+
+period_tuples = st.tuples(
+    st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=60)
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+period_lists = st.lists(period_tuples, max_size=30)
+
+
+class TestOverlapIntersect:
+    @given(period_tuples, period_tuples)
+    def test_overlap_symmetric(self, a, b):
+        assert overlaps(*a, *b) == overlaps(*b, *a)
+
+    @given(period_tuples, period_tuples)
+    def test_intersection_iff_overlap(self, a, b):
+        assert (intersect(*a, *b) is not None) == overlaps(*a, *b)
+
+    @given(period_tuples, period_tuples)
+    def test_intersection_contained_in_both(self, a, b):
+        result = intersect(*a, *b)
+        if result is not None:
+            start, end = result
+            assert a[0] <= start < end <= a[1]
+            assert b[0] <= start < end <= b[1]
+
+    @given(period_tuples)
+    def test_self_intersection_is_identity(self, a):
+        assert intersect(*a, *a) == a
+
+
+class TestConstantIntervals:
+    @given(period_lists)
+    def test_intervals_disjoint_and_ordered(self, periods):
+        intervals = list(constant_intervals(periods))
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+            assert s1 < e1
+
+    @given(period_lists)
+    def test_intervals_cover_exactly_the_union(self, periods):
+        covered_days = set()
+        for start, end in constant_intervals(periods):
+            covered_days.update(range(start, end))
+        expected = set()
+        for start, end in periods:
+            expected.update(range(start, end))
+        assert covered_days == expected
+
+    @given(period_lists)
+    def test_constant_membership_within_interval(self, periods):
+        # The defining property: inside one interval, the set of covering
+        # periods does not change.
+        for start, end in constant_intervals(periods):
+            first = {
+                i for i, (s, e) in enumerate(periods) if s <= start < e
+            }
+            last = {
+                i for i, (s, e) in enumerate(periods) if s <= end - 1 < e
+            }
+            assert first == last
+            assert first  # non-empty: gaps are skipped
+
+    @given(period_lists)
+    def test_boundaries_are_input_endpoints(self, periods):
+        endpoints = {value for period in periods for value in period}
+        for start, end in constant_intervals(periods):
+            assert start in endpoints
+            assert end in endpoints
+
+
+class TestCoalesce:
+    @given(period_lists)
+    def test_output_disjoint_and_sorted(self, periods):
+        merged = coalesce_periods(periods)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2  # strictly disjoint, not even adjacent
+
+    @given(period_lists)
+    def test_same_day_coverage(self, periods):
+        merged = coalesce_periods(periods)
+        covered = set()
+        for start, end in merged:
+            covered.update(range(start, end))
+        expected = set()
+        for start, end in periods:
+            expected.update(range(start, end))
+        assert covered == expected
+
+    @given(period_lists)
+    def test_idempotent(self, periods):
+        once = coalesce_periods(periods)
+        assert coalesce_periods(once) == once

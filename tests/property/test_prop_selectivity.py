@@ -1,0 +1,125 @@
+"""Property tests for selectivity estimation invariants."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.stats.collector import AttributeStats, RelationStats
+from repro.stats.histogram import build_height_balanced
+from repro.stats.selectivity import (
+    end_before,
+    naive_overlaps_selectivity,
+    overlaps_selectivity,
+    start_before,
+    timeslice_selectivity,
+)
+
+
+def uniform_stats(cardinality, t1_min, t1_max, duration):
+    return RelationStats(
+        cardinality=float(cardinality),
+        avg_row_size=16,
+        attributes={
+            "t1": AttributeStats("T1", t1_min, t1_max, t1_max - t1_min + 1),
+            "t2": AttributeStats(
+                "T2", t1_min + duration, t1_max + duration,
+                t1_max - t1_min + 1,
+            ),
+        },
+    )
+
+
+stats_strategy = st.tuples(
+    st.integers(min_value=10, max_value=100_000),   # cardinality
+    st.integers(min_value=0, max_value=1000),       # t1 min
+    st.integers(min_value=10, max_value=2000),      # span
+    st.integers(min_value=1, max_value=100),        # duration
+).map(lambda t: uniform_stats(t[0], t[1], t[1] + t[2], t[3]))
+
+window = st.tuples(
+    st.integers(min_value=-100, max_value=3000),
+    st.integers(min_value=1, max_value=500),
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+
+class TestBounds:
+    @settings(max_examples=100, deadline=None)
+    @given(stats_strategy, window)
+    def test_semantic_in_unit_interval(self, stats, period):
+        start, end = period
+        assert 0.0 <= overlaps_selectivity(start, end, stats) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(stats_strategy, window)
+    def test_naive_in_unit_interval(self, stats, period):
+        start, end = period
+        assert 0.0 <= naive_overlaps_selectivity(start, end, stats) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(stats_strategy, st.integers(min_value=-100, max_value=3000))
+    def test_timeslice_in_unit_interval(self, stats, instant):
+        assert 0.0 <= timeslice_selectivity(instant, stats) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(stats_strategy, window)
+    def test_semantic_never_exceeds_naive(self, stats, period):
+        # The semantic estimator only subtracts impossible combinations, so
+        # it can never estimate *more* than the independence assumption.
+        start, end = period
+        semantic = overlaps_selectivity(start, end, stats)
+        naive = naive_overlaps_selectivity(start, end, stats)
+        assert semantic <= naive + 1e-9
+
+
+class TestMonotonicity:
+    @settings(max_examples=100, deadline=None)
+    @given(stats_strategy, st.integers(min_value=0, max_value=2000),
+           st.integers(min_value=1, max_value=200))
+    def test_start_before_monotone(self, stats, value, delta):
+        assert start_before(value, stats) <= start_before(value + delta, stats) + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(stats_strategy, window, st.integers(min_value=1, max_value=200))
+    def test_widening_window_never_reduces_selectivity(self, stats, period, growth):
+        start, end = period
+        narrow = overlaps_selectivity(start, end, stats)
+        wide = overlaps_selectivity(start, end + growth, stats)
+        assert wide >= narrow - 1e-9
+
+
+class TestAgainstExactCounts:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=200, max_value=2000),
+        st.integers(min_value=5, max_value=50),
+        window,
+    )
+    def test_uniform_data_estimate_close(self, count, duration, period):
+        import random
+
+        rng = random.Random(count * 31 + duration)
+        span = 1000
+        rows = []
+        for _ in range(count):
+            start = rng.randint(0, span)
+            rows.append((start, start + duration))
+        start, end = period
+        assume(0 <= start and end <= span)
+        assume(end - start >= 20)
+        t1_values = [float(row[0]) for row in rows]
+        t2_values = [float(row[1]) for row in rows]
+        stats = RelationStats(
+            cardinality=float(count),
+            avg_row_size=16,
+            attributes={
+                "t1": AttributeStats(
+                    "T1", min(t1_values), max(t1_values), count,
+                    build_height_balanced(t1_values, 20),
+                ),
+                "t2": AttributeStats(
+                    "T2", min(t2_values), max(t2_values), count,
+                    build_height_balanced(t2_values, 20),
+                ),
+            },
+        )
+        actual = sum(1 for row in rows if row[0] < end and row[1] > start)
+        estimate = overlaps_selectivity(start, end, stats) * count
+        assert abs(estimate - actual) <= max(10.0, 0.35 * count)

@@ -1,0 +1,162 @@
+"""Property tests: TAGGR^M against a brute-force day-by-day reference."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.operators import AggregateSpec
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.xxl.cursor import materialize
+from repro.xxl.sources import RelationCursor
+from repro.xxl.temporal_aggregate import TemporalAggregateCursor
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("V", AttrType.INT),
+        Attribute("T1", AttrType.DATE),
+        Attribute("T2", AttrType.DATE),
+    ]
+)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),      # K
+        st.integers(min_value=-50, max_value=50),   # V
+        st.integers(min_value=0, max_value=60),     # T1
+        st.integers(min_value=1, max_value=30),     # duration
+    ).map(lambda t: (t[0], t[1], t[2], t[2] + t[3])),
+    max_size=40,
+)
+
+
+def run_taggr(rows, func="COUNT", attribute="K"):
+    ordered = sorted(rows, key=lambda row: (row[0], row[2]))
+    cursor = TemporalAggregateCursor(
+        RelationCursor(SCHEMA, ordered),
+        ("K",),
+        (AggregateSpec(func, attribute, "AGG"),),
+    )
+    return materialize(cursor)
+
+
+def brute_force_by_day(rows, func):
+    """Day-by-day evaluation: for each group and day, aggregate the tuples
+    valid that day; then merge runs of equal aggregate values."""
+    per_group = defaultdict(list)
+    for row in rows:
+        per_group[row[0]].append(row)
+    results = []
+    for key in sorted(per_group):
+        group = per_group[key]
+        days = sorted(
+            {d for row in group for d in (row[2], row[3])}
+        )
+        if not days:
+            continue
+        day_values = []
+        for day in range(min(days), max(days)):
+            valid = [row[1] for row in group if row[2] <= day < row[3]]
+            if not valid:
+                day_values.append((day, None))
+                continue
+            if func == "COUNT":
+                value = len(valid)
+            elif func == "SUM":
+                value = float(sum(valid))
+            elif func == "MIN":
+                value = min(valid)
+            else:
+                value = max(valid)
+            day_values.append((day, value))
+        run_start = None
+        run_value = None
+        for day, value in day_values + [(max(days), object())]:
+            if value != run_value:
+                if run_value is not None and run_start is not None:
+                    results.append((key, run_start, day, run_value))
+                run_start = day
+                run_value = value
+        # Drop the "no tuples valid" runs.
+    return [row for row in results if row[3] is not None]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_count_matches_day_by_day(self, rows):
+        result = run_taggr(rows, "COUNT")
+        merged = _merge_equal_adjacent(result)
+        assert merged == brute_force_by_day(rows, "COUNT")
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_sum_matches_day_by_day(self, rows):
+        result = run_taggr(rows, "SUM", "V")
+        merged = _merge_equal_adjacent(result)
+        assert merged == brute_force_by_day(rows, "SUM")
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_min_matches_day_by_day(self, rows):
+        result = run_taggr(rows, "MIN", "V")
+        merged = _merge_equal_adjacent(result)
+        assert merged == brute_force_by_day(rows, "MIN")
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_max_matches_day_by_day(self, rows):
+        result = run_taggr(rows, "MAX", "V")
+        merged = _merge_equal_adjacent(result)
+        assert merged == brute_force_by_day(rows, "MAX")
+
+
+def _merge_equal_adjacent(rows):
+    """Merge adjacent result intervals carrying the same aggregate value.
+
+    TAGGR^M splits at every instant; the day-by-day reference only changes
+    at value changes — merging makes the two comparable.
+    """
+    merged = []
+    for row in rows:
+        if (
+            merged
+            and merged[-1][0] == row[0]
+            and merged[-1][2] == row[1]
+            and merged[-1][3] == row[3]
+        ):
+            merged[-1] = (row[0], merged[-1][1], row[2], row[3])
+        else:
+            merged.append(row)
+    return merged
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_intervals_disjoint_per_group(self, rows):
+        result = run_taggr(rows)
+        by_group = defaultdict(list)
+        for row in result:
+            by_group[row[0]].append((row[1], row[2]))
+        for intervals in by_group.values():
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_cardinality_bound_section_3_4(self, rows):
+        result = run_taggr(rows)
+        if rows:
+            assert len(result) <= 2 * len(rows) - 1 + len(set(r[0] for r in rows))
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_counts_positive(self, rows):
+        assert all(row[3] >= 1 for row in run_taggr(rows))
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy)
+    def test_output_sorted_on_group_and_t1(self, rows):
+        result = run_taggr(rows)
+        assert result == sorted(result, key=lambda row: (row[0], row[1]))

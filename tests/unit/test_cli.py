@@ -1,0 +1,121 @@
+"""Unit tests for the interactive shell."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, format_table, split_statements
+from repro.core.tango import Tango
+from repro.dbms.database import MiniDB
+
+
+@pytest.fixture
+def shell():
+    db = MiniDB()
+    db.execute("CREATE TABLE T (K INT, Name VARCHAR(8))")
+    db.execute("INSERT INTO T VALUES (1, 'a'), (2, 'b')")
+    out = io.StringIO()
+    return Shell(Tango(db), out=out), out
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("K", "Name"), [(1, "alpha"), (22, "b")])
+        lines = text.splitlines()
+        assert lines[0].startswith("K ")
+        assert "(2 rows)" in lines[-1]
+
+    def test_truncation(self):
+        text = format_table(("K",), [(i,) for i in range(100)], limit=5)
+        assert "... 95 more rows" in text
+        assert "(100 rows)" in text
+
+    def test_singular_row(self):
+        assert "(1 row)" in format_table(("K",), [(1,)])
+
+
+class TestSplitStatements:
+    def test_basic(self):
+        assert split_statements("A; B; C") == ["A", "B", "C"]
+
+    def test_semicolon_inside_string_kept(self):
+        statements = split_statements("INSERT INTO T VALUES (1, 'a;b'); SELECT 1 FROM T")
+        assert len(statements) == 2
+        assert "a;b" in statements[0]
+
+    def test_trailing_statement_without_semicolon(self):
+        assert split_statements("SELECT 1 FROM T") == ["SELECT 1 FROM T"]
+
+    def test_empty_segments_dropped(self):
+        assert split_statements(";;  ;") == []
+
+
+class TestShell:
+    def test_select_prints_table(self, shell):
+        sh, out = shell
+        sh.run_line("SELECT K FROM T ORDER BY K;")
+        text = out.getvalue()
+        assert "(2 rows)" in text
+
+    def test_temporal_statement_reports_optimizer(self, shell):
+        sh, out = shell
+        sh.tango.db.execute("CREATE TABLE P (K INT, T1 DATE, T2 DATE)")
+        sh.tango.db.execute("INSERT INTO P VALUES (1, 0, 5)")
+        sh.run_line("VALIDTIME SELECT K, COUNT(K) FROM P GROUP BY K;")
+        assert "optimizer:" in out.getvalue()
+
+    def test_error_reported_not_raised(self, shell):
+        sh, out = shell
+        sh.run_line("SELECT Bogus FROM T;")
+        assert "error:" in out.getvalue()
+
+    def test_ddl_prints_ok(self, shell):
+        sh, out = shell
+        sh.run_line("CREATE TABLE U (X INT);")
+        assert "ok" in out.getvalue()
+
+    def test_tables_meta(self, shell):
+        sh, out = shell
+        sh.run_line("\\tables")
+        assert "T" in out.getvalue()
+        assert "2 rows" in out.getvalue()
+
+    def test_quit_returns_false(self, shell):
+        sh, _ = shell
+        assert sh.run_line("\\q") is False
+
+    def test_unknown_meta(self, shell):
+        sh, out = shell
+        sh.run_line("\\frobnicate")
+        assert "unknown command" in out.getvalue()
+
+    def test_timing_toggle(self, shell):
+        sh, out = shell
+        sh.run_line("\\timing off")
+        sh.run_line("SELECT K FROM T;")
+        assert "time:" not in out.getvalue().split("timing off")[-1]
+
+    def test_explain_meta(self, shell):
+        sh, out = shell
+        sh.tango.db.execute("CREATE TABLE P (K INT, T1 DATE, T2 DATE)")
+        sh.tango.db.execute("INSERT INTO P VALUES (1, 0, 5)")
+        sh.run_line("\\explain VALIDTIME SELECT K, COUNT(K) FROM P GROUP BY K")
+        assert "cost breakdown" in out.getvalue()
+
+    def test_plan_meta(self, shell):
+        sh, out = shell
+        sh.tango.db.execute("CREATE TABLE P (K INT, T1 DATE, T2 DATE)")
+        sh.tango.db.execute("INSERT INTO P VALUES (1, 0, 5)")
+        sh.run_line("\\plan VALIDTIME SELECT K, COUNT(K) FROM P GROUP BY K")
+        assert "TRANSFER^M" in out.getvalue()
+
+    def test_analyze_meta(self, shell):
+        sh, out = shell
+        sh.run_line("\\analyze")
+        assert "analyzed" in out.getvalue()
+        assert sh.tango.db.statistics_of("T") is not None
+
+    def test_empty_line_is_noop(self, shell):
+        sh, out = shell
+        assert sh.run_line("   ;") is True
+        assert out.getvalue() == ""

@@ -1,0 +1,59 @@
+"""Unit tests for the simulated cost meter."""
+
+from repro.dbms.costmodel import IO_WEIGHT, CostMeter, CostSnapshot, MeterWindow
+
+
+class TestCostMeter:
+    def test_starts_at_zero(self):
+        meter = CostMeter()
+        assert meter.ticks == 0
+
+    def test_io_weighting(self):
+        meter = CostMeter()
+        meter.charge_io(2)
+        meter.charge_cpu(5)
+        assert meter.ticks == 2 * IO_WEIGHT + 5
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.charge_cpu(7)
+        meter.reset()
+        assert meter.ticks == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        meter = CostMeter()
+        meter.charge_cpu(3)
+        snapshot = meter.snapshot()
+        meter.charge_cpu(4)
+        assert snapshot.cpu == 3
+        assert meter.cpu == 7
+
+
+class TestSnapshotArithmetic:
+    def test_subtraction(self):
+        delta = CostSnapshot(5, 100) - CostSnapshot(2, 40)
+        assert delta.io == 3
+        assert delta.cpu == 60
+
+    def test_ticks(self):
+        assert CostSnapshot(1, 1).ticks == IO_WEIGHT + 1
+
+
+class TestMeterWindow:
+    def test_measures_delta_only(self):
+        meter = CostMeter()
+        meter.charge_cpu(100)
+        with MeterWindow(meter) as window:
+            meter.charge_cpu(5)
+            meter.charge_io(1)
+        assert window.delta.cpu == 5
+        assert window.delta.io == 1
+
+    def test_nested_windows(self):
+        meter = CostMeter()
+        with MeterWindow(meter) as outer:
+            meter.charge_cpu(1)
+            with MeterWindow(meter) as inner:
+                meter.charge_cpu(2)
+        assert inner.delta.cpu == 2
+        assert outer.delta.cpu == 3

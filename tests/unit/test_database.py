@@ -1,0 +1,209 @@
+"""Unit tests for MiniDB DDL/DML and SQL query execution (planner included)."""
+
+import pytest
+
+from repro.dbms.database import MiniDB
+from repro.errors import CatalogError, DatabaseError, SQLSyntaxError
+
+
+@pytest.fixture
+def db():
+    instance = MiniDB()
+    instance.execute("CREATE TABLE T (K INT, V INT, Name VARCHAR(8))")
+    instance.execute(
+        "INSERT INTO T VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'c'), (2, 25, 'd')"
+    )
+    return instance
+
+
+class TestDDL:
+    def test_create_and_list(self, db):
+        assert db.list_tables() == ["T"]
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE T (X INT)")
+
+    def test_drop(self, db):
+        db.execute("DROP TABLE T")
+        assert db.list_tables() == []
+
+    def test_drop_missing_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE NOPE")
+
+    def test_drop_if_exists(self, db):
+        assert db.execute("DROP TABLE IF EXISTS NOPE") == 0
+
+    def test_create_index_and_find(self, db):
+        db.execute("CREATE INDEX IX ON T (K)")
+        assert db.find_index("T", "K") is not None
+        assert db.find_index("T", "V") is None
+
+    def test_analyze_populates_catalog(self, db):
+        db.execute("ANALYZE TABLE T COMPUTE STATISTICS")
+        stats = db.statistics_of("T")
+        assert stats.cardinality == 4
+        assert stats.column("K").num_distinct == 3
+
+    def test_analyze_records_index_availability(self, db):
+        db.execute("CREATE INDEX IX ON T (K)")
+        db.execute("ANALYZE TABLE T COMPUTE STATISTICS")
+        assert db.statistics_of("T").column("K").has_index
+
+
+class TestDML:
+    def test_insert_returns_count(self, db):
+        assert db.execute("INSERT INTO T VALUES (9, 90, 'z')") == 1
+
+    def test_insert_arity_checked(self, db):
+        with pytest.raises(DatabaseError):
+            db.execute("INSERT INTO T VALUES (1, 2)")
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE U (K INT, V INT, Name VARCHAR(8))")
+        moved = db.execute("INSERT INTO U SELECT K, V, Name FROM T WHERE K = 2")
+        assert moved == 2
+        assert len(db.query("SELECT * FROM U")) == 2
+
+    def test_delete_with_predicate(self, db):
+        removed = db.execute("DELETE FROM T WHERE K = 2")
+        assert removed == 2
+        assert len(db.query("SELECT * FROM T")) == 2
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM T") == 4
+
+    def test_delete_rebuilds_indexes(self, db):
+        db.execute("CREATE INDEX IX ON T (K)")
+        db.execute("DELETE FROM T WHERE K = 2")
+        assert list(db.find_index("T", "K").lookup(2)) == []
+
+
+class TestQueries:
+    def test_projection_and_alias(self, db):
+        rows = db.query("SELECT V AS Value FROM T WHERE K = 1")
+        assert rows == [(10,)]
+
+    def test_where_and(self, db):
+        rows = db.query("SELECT Name FROM T WHERE K = 2 AND V > 21")
+        assert rows == [("d",)]
+
+    def test_order_by_multiple_keys(self, db):
+        rows = db.query("SELECT K, V FROM T ORDER BY K DESC, V ASC")
+        assert rows == [(3, 30), (2, 20), (2, 25), (1, 10)]
+
+    def test_order_by_unprojected_column(self, db):
+        rows = db.query("SELECT Name FROM T ORDER BY V DESC")
+        assert rows == [("c",), ("d",), ("b",), ("a",)]
+
+    def test_group_by(self, db):
+        rows = db.query("SELECT K, COUNT(*), SUM(V) FROM T GROUP BY K ORDER BY K")
+        assert rows == [(1, 1, 10.0), (2, 2, 45.0), (3, 1, 30.0)]
+
+    def test_group_by_having(self, db):
+        rows = db.query("SELECT K FROM T GROUP BY K HAVING COUNT(*) > 1")
+        assert rows == [(2,)]
+
+    def test_scalar_aggregate(self, db):
+        assert db.query("SELECT COUNT(*), MAX(V) FROM T") == [(4, 30)]
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT K FROM T ORDER BY K")
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_expression_in_select(self, db):
+        rows = db.query("SELECT K + 100 FROM T WHERE Name = 'a'")
+        assert rows == [(101,)]
+
+    def test_aggregate_in_expression(self, db):
+        rows = db.query("SELECT COUNT(*) * 2 FROM T")
+        assert rows == [(8,)]
+
+    def test_self_join_with_aliases(self, db):
+        rows = db.query(
+            "SELECT A.Name, B.Name FROM T A, T B "
+            "WHERE A.K = B.K AND A.V < B.V ORDER BY A.Name"
+        )
+        assert rows == [("b", "d")]
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.query("SELECT K FROM T A, T B WHERE A.K = B.K")
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.query("SELECT 1 FROM T, T")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT Bogus FROM T")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT 1 FROM MISSING")
+
+    def test_star_expansion_disambiguates(self, db):
+        rows = db.query("SELECT * FROM T A, T B WHERE A.K = B.K AND A.K = 1")
+        assert len(rows) == 1
+        assert len(rows[0]) == 6
+
+    def test_derived_table(self, db):
+        rows = db.query(
+            "SELECT D.K FROM (SELECT K FROM T WHERE V > 15) D ORDER BY D.K"
+        )
+        assert rows == [(2,), (2,), (3,)]
+
+    def test_union_dedups(self, db):
+        rows = db.query("SELECT K FROM T UNION SELECT K FROM T ORDER BY K")
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.query("SELECT K FROM T UNION ALL SELECT K FROM T")
+        assert len(rows) == 8
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT K FROM T ORDER BY K LIMIT 2")) == 2
+
+    def test_query_requires_select(self, db):
+        with pytest.raises(DatabaseError):
+            db.query("DROP TABLE T")
+
+    def test_hints_change_method_not_result(self, db):
+        baseline = sorted(db.query(
+            "SELECT A.V, B.V FROM T A, T B WHERE A.K = B.K"
+        ))
+        nested = sorted(db.query(
+            "SELECT /*+ USE_NL */ A.V, B.V FROM T A, T B WHERE A.K = B.K"
+        ))
+        merged = sorted(db.query(
+            "SELECT /*+ USE_MERGE */ A.V, B.V FROM T A, T B WHERE A.K = B.K"
+        ))
+        assert baseline == nested == merged
+
+    def test_nested_loop_charges_quadratic_cpu(self, db):
+        db.meter.reset()
+        db.query("SELECT /*+ USE_NL */ A.V FROM T A, T B WHERE A.K = B.K")
+        nested_cpu = db.meter.cpu
+        db.meter.reset()
+        db.query("SELECT /*+ USE_MERGE */ A.V FROM T A, T B WHERE A.K = B.K")
+        merged_cpu = db.meter.cpu
+        assert nested_cpu > merged_cpu or nested_cpu >= 16
+
+    def test_index_equality_pushdown(self, db):
+        db.execute("CREATE INDEX IX ON T (K)")
+        rows = db.query("SELECT Name FROM T WHERE K = 2 ORDER BY Name")
+        assert rows == [("b",), ("d",)]
+
+    def test_non_equi_join_falls_back_to_nested_loop(self, db):
+        rows = db.query(
+            "SELECT A.K, B.K FROM T A, T B WHERE A.K < B.K AND A.K = 1 AND B.K = 3"
+        )
+        assert rows == [(1, 3)]
+
+    def test_three_way_join(self, db):
+        rows = db.query(
+            "SELECT A.K FROM T A, T B, T C "
+            "WHERE A.K = B.K AND B.K = C.K AND A.K = 3"
+        )
+        assert rows == [(3,)]

@@ -1,0 +1,181 @@
+"""Unit tests for scalar expressions and predicates."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    Literal,
+    Not,
+    Or,
+    attributes_of,
+    col,
+    conjoin,
+    conjuncts,
+    lit,
+)
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.errors import ExpressionError
+
+SCHEMA = Schema(
+    [
+        Attribute("A", AttrType.INT),
+        Attribute("B", AttrType.FLOAT),
+        Attribute("Name", AttrType.STR),
+    ]
+)
+ROW = (10, 2.5, "tango")
+
+
+def evaluate(expression, row=ROW, schema=SCHEMA):
+    return expression.compile(schema)(row)
+
+
+class TestLeaves:
+    def test_column_lookup(self):
+        assert evaluate(col("A")) == 10
+
+    def test_column_case_insensitive(self):
+        assert evaluate(col("name")) == "tango"
+
+    def test_literal(self):
+        assert evaluate(lit(42)) == 42
+
+    def test_literal_sql_escaping(self):
+        assert lit("O'Brien").to_sql() == "'O''Brien'"
+
+    def test_column_attributes(self):
+        assert col("Name").attributes() == frozenset({"name"})
+
+    def test_result_types(self):
+        assert col("A").result_type(SCHEMA) is AttrType.INT
+        assert lit(1.5).result_type(SCHEMA) is AttrType.FLOAT
+        assert lit("x").result_type(SCHEMA) is AttrType.STR
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert evaluate(BinOp("+", col("A"), lit(5))) == 15
+
+    def test_mul_with_float(self):
+        assert evaluate(BinOp("*", col("A"), col("B"))) == 25.0
+
+    def test_division_type_is_float(self):
+        assert BinOp("/", col("A"), lit(2)).result_type(SCHEMA) is AttrType.FLOAT
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            BinOp("%", col("A"), lit(2))
+
+    def test_sql_rendering(self):
+        assert BinOp("+", col("A"), lit(1)).to_sql() == "(A + 1)"
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("<>", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_operators(self, op, expected):
+        assert evaluate(Comparison(op, col("A"), lit(11))) is expected
+
+    def test_flipped(self):
+        flipped = Comparison("<", col("A"), lit(5)).flipped()
+        assert flipped.op == ">"
+        assert flipped.left == lit(5)
+
+    def test_flip_preserves_semantics(self):
+        original = Comparison("<=", col("A"), lit(10))
+        assert evaluate(original) == evaluate(original.flipped())
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", col("A"), lit(1))
+
+
+class TestBoolean:
+    def test_and_true(self):
+        expr = Comparison(">", col("A"), lit(5)) & Comparison("<", col("A"), lit(20))
+        assert evaluate(expr) is True
+
+    def test_and_flattens(self):
+        nested = And([And([lit(1), lit(1)]), lit(1)])
+        assert len(nested.terms) == 3
+
+    def test_or_short_circuit_result(self):
+        expr = Comparison("=", col("A"), lit(99)) | Comparison("=", col("A"), lit(10))
+        assert evaluate(expr) is True
+
+    def test_not(self):
+        assert evaluate(~Comparison("=", col("A"), lit(10))) is False
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ExpressionError):
+            And([])
+
+    def test_sql_rendering_and(self):
+        expr = Comparison("<", col("A"), lit(1)) & Comparison(">", col("B"), lit(2))
+        assert expr.to_sql() == "A < 1 AND B > 2"
+
+
+class TestFunctions:
+    def test_greatest(self):
+        assert evaluate(FuncCall("GREATEST", [col("A"), lit(3)])) == 10
+
+    def test_least(self):
+        assert evaluate(FuncCall("LEAST", [col("A"), lit(3)])) == 3
+
+    def test_case_insensitive_name(self):
+        assert FuncCall("greatest", [lit(1), lit(2)]).name == "GREATEST"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            FuncCall("FROBNICATE", [lit(1)])
+
+    def test_sql_rendering(self):
+        assert FuncCall("LEAST", [col("A"), lit(9)]).to_sql() == "LEAST(A, 9)"
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert Comparison("<", col("A"), lit(1)) == Comparison("<", col("A"), lit(1))
+
+    def test_column_case_insensitive_equality(self):
+        assert col("posid") == col("PosID")
+
+    def test_hash_consistency(self):
+        a = Comparison("<", col("A"), lit(1))
+        b = Comparison("<", col("A"), lit(1))
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Comparison("<", col("A"), lit(1)) != Comparison("<=", col("A"), lit(1))
+
+
+class TestHelpers:
+    def test_conjuncts_of_and(self):
+        expr = And([lit(1), lit(2), lit(3)])
+        assert len(list(conjuncts(expr))) == 3
+
+    def test_conjuncts_of_atom(self):
+        assert list(conjuncts(lit(1))) == [lit(1)]
+
+    def test_conjuncts_of_none(self):
+        assert list(conjuncts(None)) == []
+
+    def test_conjoin_roundtrip(self):
+        terms = [Comparison("<", col("A"), lit(1)), Comparison(">", col("B"), lit(2))]
+        assert list(conjuncts(conjoin(terms))) == terms
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+    def test_conjoin_single(self):
+        assert conjoin([lit(1)]) == lit(1)
+
+    def test_attributes_of(self):
+        expr = Comparison("<", col("A"), col("B"))
+        assert attributes_of(expr, None, col("Name")) == {"a", "b", "name"}

@@ -1,0 +1,90 @@
+"""Unit tests for MiniDB's ordered indexes."""
+
+import pytest
+
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.dbms.costmodel import CostMeter
+from repro.dbms.indexes import Index
+from repro.dbms.table import Table
+from repro.errors import DatabaseError
+
+SCHEMA = Schema([Attribute("K", AttrType.INT), Attribute("V", AttrType.INT)])
+
+
+def make_index(rows, clustered=False):
+    table = Table("T", SCHEMA)
+    table.bulk_load(rows)
+    return Index("IX", table, "K", clustered)
+
+
+class TestConstruction:
+    def test_unknown_column_rejected(self):
+        table = Table("T", SCHEMA)
+        with pytest.raises(DatabaseError):
+            Index("IX", table, "Missing")
+
+    def test_len(self):
+        assert len(make_index([(1, 0), (2, 0)])) == 2
+
+    def test_height_grows_slowly(self):
+        small = make_index([(i, 0) for i in range(10)])
+        large = make_index([(i, 0) for i in range(100_000)])
+        assert small.height == 1
+        assert large.height >= 2
+
+
+class TestLookup:
+    def test_equality(self):
+        index = make_index([(3, 30), (1, 10), (3, 31), (2, 20)])
+        assert sorted(index.lookup(3)) == [(3, 30), (3, 31)]
+
+    def test_miss(self):
+        index = make_index([(1, 10)])
+        assert list(index.lookup(99)) == []
+
+    def test_charges_meter(self):
+        index = make_index([(i % 5, i) for i in range(100)])
+        meter = CostMeter()
+        list(index.lookup(2, meter))
+        assert meter.io >= 1
+        assert meter.cpu == 20
+
+    def test_clustered_charges_less_io(self):
+        rows = [(i % 5, i) for i in range(5000)]
+        unclustered_meter = CostMeter()
+        clustered_meter = CostMeter()
+        list(make_index(rows).lookup(2, unclustered_meter))
+        list(make_index(rows, clustered=True).lookup(2, clustered_meter))
+        assert clustered_meter.io < unclustered_meter.io
+
+
+class TestRangeScan:
+    def make(self) -> Index:
+        return make_index([(i, i * 10) for i in range(10)])
+
+    def test_closed_open(self):
+        assert [row[0] for row in self.make().range_scan(3, 6)] == [3, 4, 5]
+
+    def test_include_high(self):
+        assert [row[0] for row in self.make().range_scan(3, 6, include_high=True)] == [
+            3, 4, 5, 6,
+        ]
+
+    def test_open_low(self):
+        assert [row[0] for row in self.make().range_scan(None, 2)] == [0, 1]
+
+    def test_open_high(self):
+        assert [row[0] for row in self.make().range_scan(8, None)] == [8, 9]
+
+    def test_empty_range(self):
+        assert list(self.make().range_scan(6, 3)) == []
+
+
+class TestRebuild:
+    def test_rebuild_after_mutation(self):
+        table = Table("T", SCHEMA)
+        table.bulk_load([(1, 10)])
+        index = Index("IX", table, "K")
+        table.append((0, 0))
+        index.rebuild()
+        assert [row[0] for row in index.range_scan(None, None)] == [0, 1]

@@ -1,0 +1,84 @@
+"""Unit tests for the JDBC-flavoured connection/cursor layer."""
+
+import pytest
+
+from repro.dbms.database import MiniDB
+from repro.dbms.jdbc import ROUND_TRIP_COST, Connection
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def connection():
+    db = MiniDB()
+    db.execute("CREATE TABLE T (K INT, V INT)")
+    db.execute("INSERT INTO T VALUES " + ", ".join(f"({i}, {i * 10})" for i in range(25)))
+    return Connection(db, prefetch=10)
+
+
+class TestCursor:
+    def test_fetchone_sequence(self, connection):
+        cursor = connection.execute("SELECT K FROM T ORDER BY K LIMIT 3")
+        assert cursor.fetchone() == (0,)
+        assert cursor.fetchone() == (1,)
+        assert cursor.fetchone() == (2,)
+        assert cursor.fetchone() is None
+
+    def test_fetchmany(self, connection):
+        cursor = connection.execute("SELECT K FROM T ORDER BY K")
+        assert cursor.fetchmany(4) == [(0,), (1,), (2,), (3,)]
+
+    def test_fetchall(self, connection):
+        cursor = connection.execute("SELECT K FROM T")
+        assert len(cursor.fetchall()) == 25
+
+    def test_iteration(self, connection):
+        cursor = connection.execute("SELECT K FROM T")
+        assert sum(1 for _ in cursor) == 25
+
+    def test_description(self, connection):
+        cursor = connection.execute("SELECT K, V FROM T")
+        assert cursor.description == [("K", "int"), ("V", "int")]
+
+    def test_no_result_set_raises(self, connection):
+        cursor = connection.cursor()
+        with pytest.raises(DatabaseError):
+            cursor.fetchone()
+
+    def test_ddl_reports_rowcount(self, connection):
+        cursor = connection.execute("INSERT INTO T VALUES (99, 990)")
+        assert cursor.rowcount == 1
+
+    def test_close(self, connection):
+        cursor = connection.execute("SELECT K FROM T")
+        cursor.close()
+        with pytest.raises(DatabaseError):
+            cursor.fetchone()
+
+
+class TestPrefetch:
+    def test_round_trips_charged_per_batch(self, connection):
+        meter = connection.db.meter
+        meter.reset()
+        connection.cursor(prefetch=5).execute("SELECT K FROM T").fetchall()
+        five_cpu = meter.cpu
+        meter.reset()
+        connection.cursor(prefetch=25).execute("SELECT K FROM T").fetchall()
+        twentyfive_cpu = meter.cpu
+        # Smaller prefetch means more round trips, so more transfer CPU.
+        assert five_cpu - twentyfive_cpu >= 3 * ROUND_TRIP_COST
+
+    def test_prefetch_floor_is_one(self, connection):
+        cursor = connection.cursor(prefetch=0)
+        assert cursor.prefetch == 1
+
+
+class TestConnectionHelpers:
+    def test_bulk_load_and_drop(self, connection):
+        from repro.algebra.schema import Attribute, Schema
+
+        schema = Schema([Attribute("X")])
+        loaded = connection.bulk_load("TMP", schema, [(1,), (2,)])
+        assert loaded == 2
+        assert connection.db.table("TMP").cardinality == 2
+        connection.drop_temp("TMP")
+        assert not connection.db.has_table("TMP")

@@ -1,0 +1,122 @@
+"""Unit tests for execution-plan rendering and nested transfer sequencing
+(the Figure 5 'algorithm sequence' details)."""
+
+import pytest
+
+from repro.algebra.builder import scan
+from repro.algebra.expressions import Comparison, col, lit
+from repro.core.engine import ExecutionEngine
+from repro.core.plans import compile_plan
+from repro.dbms.jdbc import Connection
+
+
+@pytest.fixture
+def connection(figure3_db):
+    return Connection(figure3_db)
+
+
+class TestDescribe:
+    def test_middleware_pipeline_rendering(self, figure3_db, connection):
+        plan = (
+            scan(figure3_db, "POSITION")
+            .sort("PosID", "T1")
+            .to_middleware()
+            .taggr(group_by=["PosID"], count="PosID")
+            .build()
+        )
+        text = compile_plan(plan, connection).describe()
+        assert "TAGGR^M" in text
+        assert "GroupBy: PosID" in text
+        assert "COUNT(PosID)" in text
+        assert "TRANSFER^M  Query:" in text
+        assert "FROM POSITION" in text
+
+    def test_join_and_filter_rendering(self, figure3_db, connection):
+        left = scan(figure3_db, "POSITION").sort("PosID").to_middleware()
+        right = scan(figure3_db, "POSITION").sort("PosID").to_middleware()
+        plan = (
+            left.temporal_join(right, "PosID", "PosID")
+            .select(Comparison("<", col("T1"), lit(100)))
+            .build()
+        )
+        text = compile_plan(plan, connection).describe()
+        assert "TJOIN^M  On: PosID=PosID" in text
+        assert "FILTER^M  Predicate: T1 < 100" in text
+
+    def test_transfer_d_shows_temp_table(self, figure3_db, connection):
+        plan = (
+            scan(figure3_db, "POSITION")
+            .sort("PosID", "T1")
+            .to_middleware()
+            .taggr(group_by=["PosID"], count="PosID")
+            .to_dbms()
+            .to_middleware()
+            .build()
+        )
+        text = compile_plan(plan, connection).describe()
+        assert "TRANSFER^D  TableName: TANGO_TMP" in text
+
+    def test_long_sql_truncated(self, figure3_db, connection):
+        wide = scan(figure3_db, "POSITION").project(
+            "PosID", "EmpName", "T1", "T2"
+        )
+        plan = wide.join(
+            scan(figure3_db, "POSITION").project("PosID", "EmpName", "T1", "T2"),
+            "PosID",
+            "PosID",
+        ).to_middleware().build()
+        text = compile_plan(plan, connection).describe()
+        transfer_lines = [l for l in text.splitlines() if "TRANSFER^M" in l]
+        assert all(len(line) < 140 for line in transfer_lines)
+
+
+class TestNestedTransfers:
+    def test_two_transfer_d_steps_ordered_before_final_select(
+        self, figure3_db, connection
+    ):
+        # Two independent middleware results loaded down, then joined in
+        # the DBMS: both TRANSFER^D steps must precede the final TRANSFER^M.
+        left = (
+            scan(figure3_db, "POSITION")
+            .sort("PosID", "T1")
+            .to_middleware()
+            .taggr(group_by=["PosID"], count="PosID")
+            .to_dbms()
+        )
+        right = (
+            scan(figure3_db, "POSITION")
+            .sort("PosID", "T1")
+            .to_middleware()
+            .taggr(group_by=["PosID"], aggregates=[
+                __import__("repro.algebra.operators", fromlist=["AggregateSpec"]).AggregateSpec("MIN", "T1", "FirstT1"),
+            ])
+            .to_dbms()
+        )
+        plan = left.join(right, "PosID", "PosID").to_middleware().build()
+        execution = compile_plan(plan, connection)
+        kinds = [type(step).__name__ for step in execution.steps]
+        assert kinds == ["TransferDCursor", "TransferDCursor", "SQLCursor"]
+        outcome = ExecutionEngine().execute(execution)
+        # Equi-join on PosID pairs every left interval with every right
+        # interval of the same position: 3x3 for position 1 plus 1x1.
+        assert len(outcome.rows) == 10
+        # Both temp tables cleaned up.
+        leftovers = [
+            name for name in figure3_db.list_tables()
+            if name.startswith("TANGO_TMP")
+        ]
+        assert leftovers == []
+
+    def test_observations_cover_all_transfers(self, figure3_db, connection):
+        plan = (
+            scan(figure3_db, "POSITION")
+            .sort("PosID", "T1")
+            .to_middleware()
+            .taggr(group_by=["PosID"], count="PosID")
+            .to_dbms()
+            .to_middleware()
+            .build()
+        )
+        outcome = ExecutionEngine().execute(compile_plan(plan, connection))
+        directions = sorted(o.direction for o in outcome.observations)
+        assert directions == ["down", "up", "up"]

@@ -1,0 +1,96 @@
+"""Unit tests for order properties — Section 4's list/multiset discipline."""
+
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.operators import (
+    Join,
+    Location,
+    Scan,
+    Select,
+    Sort,
+    TransferD,
+    TransferM,
+)
+from repro.algebra.properties import guaranteed_order, is_prefix_of, satisfies_order
+from repro.algebra.schema import Attribute, AttrType, Schema
+
+SCHEMA = Schema(
+    [
+        Attribute("PosID", AttrType.INT),
+        Attribute("T1", AttrType.DATE),
+        Attribute("T2", AttrType.DATE),
+    ]
+)
+
+
+def scan() -> Scan:
+    return Scan("POSITION", SCHEMA)
+
+
+class TestIsPrefixOf:
+    def test_empty_is_prefix_of_anything(self):
+        assert is_prefix_of([], ["a", "b"])
+
+    def test_proper_prefix(self):
+        assert is_prefix_of(["PosID"], ["posid", "t1"])
+
+    def test_equal_lists(self):
+        assert is_prefix_of(["a", "b"], ["A", "B"])
+
+    def test_not_a_prefix(self):
+        assert not is_prefix_of(["T1"], ["posid", "t1"])
+
+    def test_longer_than_order(self):
+        assert not is_prefix_of(["a", "b"], ["a"])
+
+
+class TestGuaranteedOrder:
+    def test_dbms_scan_guarantees_nothing(self):
+        # Even a clustered table gives no SQL-level order guarantee.
+        clustered = Scan("POSITION", SCHEMA, ("PosID",))
+        assert guaranteed_order(clustered) == ()
+
+    def test_dbms_sort_at_top_guarantees(self):
+        sort = Sort(scan(), Location.DBMS, ("PosID", "T1"))
+        assert guaranteed_order(sort) == ("PosID", "T1")
+
+    def test_dbms_operator_above_sort_destroys_order(self):
+        sort = Sort(scan(), Location.DBMS, ("PosID",))
+        select = Select(sort, Location.DBMS, Comparison("<", col("T1"), lit(5)))
+        assert guaranteed_order(select) == ()
+
+    def test_transfer_m_preserves_dbms_sort(self):
+        # The paper's T6 precondition: T^M preserves order.
+        sort = Sort(scan(), Location.DBMS, ("PosID",))
+        assert guaranteed_order(TransferM(sort)) == ("PosID",)
+
+    def test_transfer_m_of_unsorted_guarantees_nothing(self):
+        assert guaranteed_order(TransferM(scan())) == ()
+
+    def test_middleware_select_preserves(self):
+        sorted_in_mw = TransferM(Sort(scan(), Location.DBMS, ("PosID",)))
+        select = Select(
+            sorted_in_mw, Location.MIDDLEWARE, Comparison("<", col("T1"), lit(5))
+        )
+        assert guaranteed_order(select) == ("PosID",)
+
+    def test_transfer_d_destroys_order(self):
+        sorted_in_mw = TransferM(Sort(scan(), Location.DBMS, ("PosID",)))
+        assert guaranteed_order(TransferD(sorted_in_mw)) == ()
+
+    def test_middleware_join_delivers_left_attr(self):
+        left = TransferM(Sort(scan(), Location.DBMS, ("PosID",)))
+        right = TransferM(Sort(scan(), Location.DBMS, ("PosID",)))
+        join = Join(left, right, Location.MIDDLEWARE, "PosID", "PosID")
+        assert guaranteed_order(join) == ("PosID",)
+
+
+class TestSatisfiesOrder:
+    def test_empty_requirement_always_satisfied(self):
+        assert satisfies_order(scan(), ())
+
+    def test_satisfied_by_sort(self):
+        sort = Sort(scan(), Location.DBMS, ("PosID", "T1"))
+        assert satisfies_order(sort, ("PosID",))
+
+    def test_unsatisfied(self):
+        assert not satisfies_order(scan(), ("PosID",))

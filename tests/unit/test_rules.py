@@ -1,0 +1,308 @@
+"""Unit tests for the transformation rules T1-T12 and E1-E5.
+
+Each rule is exercised against a memo seeded with its left-hand-side
+pattern; assertions check the expected right-hand-side element or merge
+appears.  Soundness (result equality of rewritten plans) is covered by the
+property tests in ``tests/property/test_prop_rules.py``.
+"""
+
+import pytest
+
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.operators import (
+    Join,
+    Location,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferD,
+    TransferM,
+    AggregateSpec,
+)
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.optimizer.memo import Memo
+from repro.optimizer.rules import (
+    E1SwapProjectSelect,
+    E2CommuteBinary,
+    E4SwapSortSelect,
+    E5SwapSortProject,
+    P1PushSelectThroughJoin,
+    P2PushSelectThroughTemporalJoin,
+    T1MoveTemporalAggregate,
+    T2MoveJoin,
+    T3MoveTemporalJoin,
+    T4MoveSelection,
+    T6MoveSort,
+    T7EliminateTransferPairMD,
+    T8EliminateTransferPairDM,
+    T9DropIdentityProjection,
+    T11DropSort,
+    T12CollapseSortPair,
+    default_rules,
+)
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("V", AttrType.INT),
+        Attribute("T1", AttrType.DATE),
+        Attribute("T2", AttrType.DATE),
+    ]
+)
+
+MW = Location.MIDDLEWARE
+DB = Location.DBMS
+
+
+def scan() -> Scan:
+    return Scan("R", SCHEMA)
+
+
+def apply_rule(rule, plan) -> Memo:
+    """Insert *plan*, apply *rule* to every element once, return the memo."""
+    memo = Memo()
+    memo.insert_tree(plan)
+    for eq_class in memo.classes():
+        for element in list(eq_class.elements):
+            rule.apply(memo, memo.find(eq_class.id), element)
+    return memo
+
+
+def templates(memo: Memo) -> list[str]:
+    return [
+        f"{type(element.template).__name__}@{element.template.location.superscript}"
+        for eq_class in memo.classes()
+        for element in eq_class.elements
+    ]
+
+
+class TestHeuristicGroup1:
+    def test_t1_moves_taggr(self):
+        plan = TemporalAggregate(scan(), DB, ("K",), (AggregateSpec("COUNT", "K"),))
+        memo = apply_rule(T1MoveTemporalAggregate(), plan)
+        names = templates(memo)
+        assert "TemporalAggregate@M" in names
+        assert "TransferD@D" in names
+        assert "Sort@D" in names
+
+    def test_t1_skips_middleware_located(self):
+        plan = TemporalAggregate(
+            TransferM(scan()), MW, ("K",), (AggregateSpec("COUNT", "K"),)
+        )
+        memo = apply_rule(T1MoveTemporalAggregate(), plan)
+        assert "TransferD@D" not in templates(memo)
+
+    def test_t2_moves_join(self):
+        plan = Join(scan(), scan(), DB, "K", "K")
+        memo = apply_rule(T2MoveJoin(), plan)
+        assert "Join@M" in templates(memo)
+
+    def test_t2_ignores_temporal_join(self):
+        plan = TemporalJoin(scan(), scan(), DB, "K", "K")
+        memo = apply_rule(T2MoveJoin(), plan)
+        assert "TemporalJoin@M" not in templates(memo)
+
+    def test_t3_moves_temporal_join(self):
+        plan = TemporalJoin(scan(), scan(), DB, "K", "K")
+        memo = apply_rule(T3MoveTemporalJoin(), plan)
+        assert "TemporalJoin@M" in templates(memo)
+
+    def test_t4_pulls_selection_into_middleware(self):
+        plan = TransferM(Select(scan(), DB, Comparison("<", col("V"), lit(5))))
+        memo = apply_rule(T4MoveSelection(), plan)
+        assert "Select@M" in templates(memo)
+
+    def test_t6_pulls_sort_into_middleware(self):
+        plan = TransferM(Sort(scan(), DB, ("K",)))
+        memo = apply_rule(T6MoveSort(), plan)
+        assert "Sort@M" in templates(memo)
+
+
+class TestHeuristicGroup2:
+    def test_t7_merges_transfer_pair(self):
+        plan = TransferM(TransferD(TransferM(scan())))
+        memo = Memo()
+        root = memo.insert_tree(plan)
+        inner = memo.insert_tree(TransferM(scan()))
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                T7EliminateTransferPairMD().apply(memo, memo.find(eq_class.id), element)
+        assert memo.find(root) == memo.find(inner)
+
+    def test_t8_merges_transfer_pair(self):
+        plan = TransferD(TransferM(scan()))
+        memo = Memo()
+        root = memo.insert_tree(plan)
+        base = memo.insert_tree(scan())
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                T8EliminateTransferPairDM().apply(memo, memo.find(eq_class.id), element)
+        assert memo.find(root) == memo.find(base)
+
+    def test_t9_merges_identity_projection(self):
+        plan = Project.of_columns(scan(), ["K", "V", "T1", "T2"])
+        memo = Memo()
+        root = memo.insert_tree(plan)
+        base = memo.insert_tree(scan())
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                T9DropIdentityProjection().apply(memo, memo.find(eq_class.id), element)
+        assert memo.find(root) == memo.find(base)
+
+    def test_t9_skips_reordering_projection(self):
+        plan = Project.of_columns(scan(), ["V", "K", "T1", "T2"])
+        memo = Memo()
+        root = memo.insert_tree(plan)
+        base = memo.insert_tree(scan())
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                T9DropIdentityProjection().apply(memo, memo.find(eq_class.id), element)
+        assert memo.find(root) != memo.find(base)
+
+    def test_t11_merges_sort_with_argument(self):
+        plan = Sort(scan(), DB, ("K",))
+        memo = Memo()
+        root = memo.insert_tree(plan)
+        base = memo.insert_tree(scan())
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                T11DropSort().apply(memo, memo.find(eq_class.id), element)
+        assert memo.find(root) == memo.find(base)
+
+    def test_t12_collapses_sort_pair(self):
+        plan = Sort(Sort(scan(), DB, ("K",)), DB, ("K", "T1"))
+        memo = apply_rule(T12CollapseSortPair(), plan)
+        # A new Sort(K,T1) element over the scan class appears.
+        sort_elements = [
+            element
+            for eq_class in memo.classes()
+            for element in eq_class.elements
+            if isinstance(element.template, Sort)
+            and element.template.keys == ("K", "T1")
+        ]
+        assert any(
+            isinstance(memo.class_of(element.children[0]).representative, Scan)
+            for element in sort_elements
+        )
+
+    def test_t12_requires_prefix(self):
+        plan = Sort(Sort(scan(), DB, ("V",)), DB, ("K", "T1"))
+        memo = Memo()
+        memo.insert_tree(plan)
+        before = memo.element_count
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                T12CollapseSortPair().apply(memo, memo.find(eq_class.id), element)
+        assert memo.element_count == before
+
+
+class TestEquivalences:
+    def test_e1_pushes_select_below_projection(self):
+        plan = Select(
+            Project.of_columns(scan(), ["K", "V"]),
+            DB,
+            Comparison("<", col("V"), lit(5)),
+        )
+        memo = apply_rule(E1SwapProjectSelect(), plan)
+        names = templates(memo)
+        assert names.count("Select@D") == 2  # original + pushed-down variant
+
+    def test_e2_commutes_join_with_projection_wrapper(self):
+        plan = Join(Project.of_columns(scan(), ["K"]), scan(), DB, "K", "K")
+        memo = apply_rule(E2CommuteBinary(), plan)
+        assert "Project@D" in templates(memo)
+
+    def test_e4_pushes_select_below_sort_in_middleware(self):
+        plan = Select(
+            Sort(TransferM(scan()), MW, ("K",)),
+            MW,
+            Comparison("<", col("V"), lit(5)),
+        )
+        memo = apply_rule(E4SwapSortSelect(), plan)
+        assert templates(memo).count("Sort@M") == 2
+
+    def test_e4_skips_dbms(self):
+        plan = Select(Sort(scan(), DB, ("K",)), DB, Comparison("<", col("V"), lit(5)))
+        memo = Memo()
+        memo.insert_tree(plan)
+        before = memo.element_count
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                E4SwapSortSelect().apply(memo, memo.find(eq_class.id), element)
+        assert memo.element_count == before
+
+    def test_e5_moves_sort_above_projection(self):
+        plan = Project.of_columns(
+            Sort(TransferM(scan()), MW, ("K",)), ["K", "V"], MW
+        )
+        memo = apply_rule(E5SwapSortProject(), plan)
+        assert templates(memo).count("Project@M") == 2
+
+    def test_e5_requires_keys_survive(self):
+        plan = Project.of_columns(Sort(TransferM(scan()), MW, ("T1",)), ["K"], MW)
+        memo = Memo()
+        memo.insert_tree(plan)
+        before = memo.element_count
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                E5SwapSortProject().apply(memo, memo.find(eq_class.id), element)
+        assert memo.element_count == before
+
+
+class TestPushdowns:
+    def test_p1_splits_conjuncts_by_side(self):
+        predicate = Comparison("<", col("V"), lit(5)) & Comparison(
+            "<", col("V_2"), lit(9)
+        )
+        plan = Select(Join(scan(), scan(), DB, "K", "K"), DB, predicate)
+        memo = apply_rule(P1PushSelectThroughJoin(), plan)
+        assert templates(memo).count("Select@D") >= 3
+
+    def test_p2_pushes_overlap_bounds_to_both_sides(self):
+        predicate = Comparison("<", col("T1"), lit(100)) & Comparison(
+            ">", col("T2"), lit(50)
+        )
+        plan = Select(TemporalJoin(scan(), scan(), DB, "K", "K"), DB, predicate)
+        memo = apply_rule(P2PushSelectThroughTemporalJoin(), plan)
+        select_elements = [
+            element
+            for eq_class in memo.classes()
+            for element in eq_class.elements
+            if isinstance(element.template, Select)
+        ]
+        assert len(select_elements) >= 2
+
+    def test_p2_keeps_non_pushable_temporal_conjuncts(self):
+        predicate = Comparison("=", col("T1"), lit(100))
+        plan = Select(TemporalJoin(scan(), scan(), DB, "K", "K"), DB, predicate)
+        memo = Memo()
+        memo.insert_tree(plan)
+        before = memo.element_count
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                P2PushSelectThroughTemporalJoin().apply(
+                    memo, memo.find(eq_class.id), element
+                )
+        assert memo.element_count == before
+
+
+class TestDefaultRuleSet:
+    def test_contains_paper_rules(self):
+        names = {rule.name for rule in default_rules()}
+        for expected in ("T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
+                         "T9", "T11", "T12", "E1", "E2", "E3", "E4", "E5"):
+            assert expected in names
+
+    def test_join_order_rules_optional(self):
+        names = {rule.name for rule in default_rules(include_join_order=False)}
+        assert "E2" not in names
+        assert "E3" not in names
+
+    def test_rules_carry_equivalence_types(self):
+        by_name = {rule.name: rule.equivalence for rule in default_rules()}
+        assert by_name["T6"] == "L"   # T^M preserves order
+        assert by_name["T1"] == "M"
+        assert by_name["E1"] == "L"

@@ -1,0 +1,77 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.dbms.sql.lexer import Token, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def kinds(sql):
+    return [token.kind for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]  # strip EOF
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert values("select from") == ["SELECT", "FROM"]
+
+    def test_identifiers_keep_spelling_in_text(self):
+        token = tokenize("PosID")[0]
+        assert token.kind == "IDENT"
+        assert token.value == "POSID"
+        assert token.text == "PosID"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].kind == "NUMBER" and tokens[0].value == "42"
+        assert tokens[1].value == "3.14"
+
+    def test_strings_unescape_quotes(self):
+        token = tokenize("'O''Brien'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "O'Brien"
+
+    def test_operators(self):
+        assert values("<= >= <> != = < > + - * / ( ) , .") == [
+            "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".",
+        ]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestHintsAndComments:
+    def test_hint_extracted(self):
+        tokens = tokenize("SELECT /*+ USE_NL */ *")
+        assert tokens[1].kind == "HINT"
+        assert tokens[1].value == "USE_NL"
+
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- a comment\n 1") == ["SELECT", "1"]
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("SELECT ~")
+        except SQLSyntaxError as error:
+            assert error.position == 7
+        else:  # pragma: no cover
+            pytest.fail("expected SQLSyntaxError")
+
+
+class TestWhitespaceHandling:
+    def test_newlines_and_tabs(self):
+        assert values("SELECT\n\t1") == ["SELECT", "1"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT X")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

@@ -1,0 +1,104 @@
+"""Unit tests for ANALYZE-style catalog statistics."""
+
+import pytest
+
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.dbms.statistics import analyze_table
+from repro.dbms.table import Table
+from repro.errors import StatisticsError
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("Name", AttrType.STR, 16),
+        Attribute("T1", AttrType.DATE),
+    ]
+)
+
+
+def loaded_table() -> Table:
+    table = Table("T", SCHEMA)
+    table.bulk_load([(i % 10, f"N{i % 3}", 100 + i) for i in range(50)])
+    return table
+
+
+class TestTableLevel:
+    def test_cardinality_and_blocks(self):
+        stats = analyze_table(loaded_table())
+        assert stats.cardinality == 50
+        assert stats.blocks >= 1
+        assert stats.avg_row_size == SCHEMA.row_width
+
+    def test_size_bytes_is_cardinality_times_width(self):
+        stats = analyze_table(loaded_table())
+        assert stats.size_bytes == 50 * SCHEMA.row_width
+
+
+class TestColumnLevel:
+    def test_min_max(self):
+        stats = analyze_table(loaded_table())
+        column = stats.column("T1")
+        assert column.min_value == 100
+        assert column.max_value == 149
+
+    def test_distinct_counts(self):
+        stats = analyze_table(loaded_table())
+        assert stats.column("K").num_distinct == 10
+        assert stats.column("Name").num_distinct == 3
+
+    def test_case_insensitive_lookup(self):
+        stats = analyze_table(loaded_table())
+        assert stats.column("t1").name == "T1"
+
+    def test_missing_column_raises(self):
+        stats = analyze_table(loaded_table())
+        with pytest.raises(StatisticsError):
+            stats.column("Nope")
+
+    def test_has_column(self):
+        stats = analyze_table(loaded_table())
+        assert stats.has_column("K")
+        assert not stats.has_column("Z")
+
+
+class TestHistogramSelection:
+    def test_auto_builds_numeric_histograms(self):
+        stats = analyze_table(loaded_table(), histogram_columns="auto")
+        assert stats.column("K").histogram is not None
+        assert stats.column("T1").histogram is not None
+        assert stats.column("Name").histogram is None  # strings never
+
+    def test_none_builds_no_histograms(self):
+        stats = analyze_table(loaded_table(), histogram_columns="none")
+        assert stats.column("K").histogram is None
+        assert stats.column("T1").histogram is None
+
+    def test_explicit_columns(self):
+        stats = analyze_table(loaded_table(), histogram_columns=("T1",))
+        assert stats.column("T1").histogram is not None
+        assert stats.column("K").histogram is None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(StatisticsError):
+            analyze_table(loaded_table(), histogram_columns="some")
+
+    def test_bucket_count_respected(self):
+        stats = analyze_table(loaded_table(), histogram_buckets=5)
+        assert stats.column("T1").histogram.num_buckets <= 5
+
+
+class TestNulls:
+    def test_null_counting(self):
+        table = Table("T", SCHEMA)
+        table.bulk_load([(1, "a", None), (2, "b", 5)])
+        stats = analyze_table(table)
+        column = stats.column("T1")
+        assert column.num_nulls == 1
+        assert column.min_value == 5
+
+    def test_all_null_column(self):
+        table = Table("T", SCHEMA)
+        table.bulk_load([(1, "a", None)])
+        stats = analyze_table(table)
+        assert stats.column("T1").min_value is None
+        assert stats.column("T1").num_distinct == 0

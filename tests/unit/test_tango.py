@@ -1,0 +1,116 @@
+"""Unit tests for the Tango facade."""
+
+import pytest
+
+from repro.core.tango import QueryResult, Tango
+from repro.dbms.database import MiniDB
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def tango(figure3_db):
+    return Tango(figure3_db)
+
+
+class TestQueryPath:
+    def test_temporal_aggregation_query(self, tango):
+        result = tango.query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION "
+            "GROUP BY PosID ORDER BY PosID"
+        )
+        assert result.rows == [
+            (1, 2, 5, 1),
+            (1, 5, 20, 2),
+            (1, 20, 25, 1),
+            (2, 5, 10, 1),
+        ]
+
+    def test_result_metadata(self, tango):
+        result = tango.query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID"
+        )
+        assert result.schema.has("COUNTofPosID")
+        assert result.estimated_cost is not None
+        assert result.class_count > 0
+        assert result.element_count > 0
+        assert result.plan is not None
+
+    def test_temporal_join_query(self, tango):
+        result = tango.query(
+            "VALIDTIME SELECT A.PosID, A.EmpName, B.EmpName FROM POSITION A, "
+            "POSITION B WHERE A.PosID = B.PosID ORDER BY PosID"
+        )
+        assert len(result.rows) == 5
+
+    def test_passthrough_regular_sql(self, tango):
+        result = tango.query("SELECT COUNT(*) FROM POSITION")
+        assert result.rows == [(3,)]
+        assert result.plan is None
+
+    def test_passthrough_ddl(self, tango):
+        result = tango.query("CREATE TABLE SIDE (X INT)")
+        assert result.rows == []
+        assert tango.db.has_table("SIDE")
+
+    def test_result_is_iterable_sized(self, tango):
+        result = tango.query("VALIDTIME SELECT PosID FROM POSITION")
+        assert len(result) == 3
+        assert len(list(result)) == 3
+
+
+class TestPlanAPI:
+    def test_parse_returns_initial_plan(self, tango):
+        plan = tango.parse("VALIDTIME SELECT PosID FROM POSITION")
+        assert plan.location.value == "middleware"
+
+    def test_optimize_accepts_sql_or_plan(self, tango):
+        sql = (
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID"
+        )
+        from_sql = tango.optimize(sql)
+        from_plan = tango.optimize(tango.parse(sql))
+        assert from_sql.cost == from_plan.cost
+
+    def test_execute_plan_validates(self, tango):
+        from repro.algebra.builder import scan
+
+        invalid = (
+            scan(tango.db, "POSITION")
+            .to_middleware()
+            .taggr(group_by=["PosID"], count="PosID")  # missing sort
+            .build()
+        )
+        with pytest.raises(PlanError):
+            tango.execute_plan(invalid)
+
+    def test_explain_contains_plan_and_costs(self, tango):
+        text = tango.explain(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID"
+        )
+        assert "cost breakdown" in text
+        assert "Scan(POSITION)" in text
+
+    def test_plan_cost_positive(self, tango):
+        plan = tango.parse("VALIDTIME SELECT PosID FROM POSITION")
+        assert tango.plan_cost(plan) > 0
+
+
+class TestStatisticsLifecycle:
+    def test_refresh_statistics(self, tango):
+        tango.db.execute("INSERT INTO POSITION VALUES (3, 'Ann', 1, 9)")
+        tango.refresh_statistics()
+        stats = tango.collector.collect("POSITION")
+        assert stats.cardinality == 4
+
+    def test_histogram_toggle(self, figure3_db):
+        with_hist = Tango(figure3_db, use_histograms=True)
+        without = Tango(figure3_db, use_histograms=False)
+        assert with_hist.predicate_estimator.use_histograms
+        assert not without.predicate_estimator.use_histograms
+
+    def test_calibrate_returns_factors(self, tango):
+        factors = tango.calibrate(sizes=(50,))
+        # The two-term transfer fit may attribute everything to the
+        # per-tuple share in-process; the combined cost is always positive.
+        assert factors.p_tmr + factors.p_tm > 0
+        assert tango.factors is factors

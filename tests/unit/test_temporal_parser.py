@@ -1,0 +1,179 @@
+"""Unit tests for the VALIDTIME temporal SQL parser."""
+
+import pytest
+
+from repro.algebra.operators import (
+    Location,
+    Project,
+    Select,
+    Sort,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferM,
+)
+from repro.core.parser import is_temporal_query, parse_temporal_query
+from repro.errors import SQLSyntaxError
+
+
+def nodes(plan, node_type):
+    return [node for node in plan.walk() if isinstance(node, node_type)]
+
+
+class TestDetection:
+    def test_validtime_prefix(self):
+        assert is_temporal_query("VALIDTIME SELECT * FROM T")
+        assert is_temporal_query("  validtime select * from t")
+
+    def test_regular_sql_not_temporal(self):
+        assert not is_temporal_query("SELECT * FROM T")
+
+    def test_missing_prefix_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query("SELECT * FROM POSITION", figure3_db)
+
+
+class TestInitialPlanShape:
+    def test_transfer_m_on_top(self, figure3_db):
+        plan = parse_temporal_query("VALIDTIME SELECT * FROM POSITION", figure3_db)
+        assert isinstance(plan, TransferM)
+
+    def test_all_processing_in_dbms(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION "
+            "GROUP BY PosID ORDER BY PosID",
+            figure3_db,
+        )
+        below = plan.input
+        assert all(node.location is Location.DBMS for node in below.walk())
+
+    def test_group_by_becomes_temporal_aggregate(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID",
+            figure3_db,
+        )
+        assert len(nodes(plan, TemporalAggregate)) == 1
+
+    def test_aggregate_alias_names_output(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION GROUP BY PosID",
+            figure3_db,
+        )
+        taggr = nodes(plan, TemporalAggregate)[0]
+        assert taggr.schema.has("Cnt")
+
+    def test_join_becomes_temporal_join(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT A.PosID, B.EmpName FROM POSITION A, POSITION B "
+            "WHERE A.PosID = B.PosID",
+            figure3_db,
+        )
+        assert len(nodes(plan, TemporalJoin)) == 1
+
+    def test_single_table_predicates_pushed_to_scans(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT A.PosID, B.EmpName FROM POSITION A, POSITION B "
+            "WHERE A.PosID = B.PosID AND A.T1 < 5",
+            figure3_db,
+        )
+        join = nodes(plan, TemporalJoin)[0]
+        assert isinstance(join.left, Select)
+
+    def test_missing_join_condition_rejected(self, figure3_db):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            parse_temporal_query(
+                "VALIDTIME SELECT A.PosID FROM POSITION A, POSITION B",
+                figure3_db,
+            )
+
+    def test_order_by_becomes_sort(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT PosID, EmpName FROM POSITION ORDER BY PosID",
+            figure3_db,
+        )
+        assert isinstance(plan.input, Sort)
+
+    def test_period_attributes_appended_implicitly(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT PosID FROM POSITION", figure3_db
+        )
+        project = nodes(plan, Project)[0]
+        assert project.schema.names == ("PosID", "T1", "T2")
+
+    def test_explicit_period_attributes_not_duplicated(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT PosID, T1, T2 FROM POSITION", figure3_db
+        )
+        project = nodes(plan, Project)[0]
+        assert project.schema.names == ("PosID", "T1", "T2")
+
+
+class TestResolution:
+    def test_disambiguated_join_columns(self, figure3_db):
+        plan = parse_temporal_query(
+            "VALIDTIME SELECT A.EmpName, B.EmpName FROM POSITION A, POSITION B "
+            "WHERE A.PosID = B.PosID",
+            figure3_db,
+        )
+        project = nodes(plan, Project)[0]
+        assert "EmpName" in project.schema.names
+        assert "EmpName_2" in project.schema.names
+
+    def test_unknown_column_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT Bogus FROM POSITION", figure3_db
+            )
+
+    def test_ambiguous_column_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT EmpName FROM POSITION A, POSITION B "
+                "WHERE A.PosID = B.PosID",
+                figure3_db,
+            )
+
+    def test_unknown_alias_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT Z.PosID FROM POSITION A", figure3_db
+            )
+
+
+class TestRestrictions:
+    def test_derived_tables_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT X FROM (SELECT 1 FROM POSITION) D", figure3_db
+            )
+
+    def test_union_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT PosID FROM POSITION UNION "
+                "SELECT PosID FROM POSITION",
+                figure3_db,
+            )
+
+    def test_group_by_expression_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT COUNT(PosID) FROM POSITION GROUP BY PosID + 1",
+                figure3_db,
+            )
+
+    def test_bare_column_with_group_by_must_be_grouped(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT EmpName, COUNT(PosID) FROM POSITION "
+                "GROUP BY PosID",
+                figure3_db,
+            )
+
+    def test_desc_order_rejected(self, figure3_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_temporal_query(
+                "VALIDTIME SELECT PosID FROM POSITION ORDER BY PosID DESC",
+                figure3_db,
+            )

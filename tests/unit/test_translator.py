@@ -1,0 +1,174 @@
+"""Unit tests for the Translator-To-SQL.
+
+Each test translates a DBMS-located plan subtree to SQL, runs the SQL on
+MiniDB, and checks the rows — the translator's contract is semantic, not
+textual.
+"""
+
+import pytest
+
+from repro.algebra.builder import scan
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.operators import Location, TransferD, TransferM
+from repro.core.translator import SQLTranslator
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def db(figure3_db):
+    return figure3_db
+
+
+@pytest.fixture
+def translator():
+    return SQLTranslator()
+
+
+def run(db, sql):
+    return db.query(sql)
+
+
+class TestBasics:
+    def test_scan(self, db, translator):
+        sql = translator.translate(scan(db, "POSITION").build())
+        assert sorted(run(db, sql)) == sorted(
+            [(1, "Tom", 2, 20), (1, "Jane", 5, 25), (2, "Tom", 5, 10)]
+        )
+
+    def test_selection(self, db, translator):
+        plan = scan(db, "POSITION").select(Comparison("=", col("PosID"), lit(2))).build()
+        assert run(db, translator.translate(plan)) == [(2, "Tom", 5, 10)]
+
+    def test_projection(self, db, translator):
+        plan = scan(db, "POSITION").project("EmpName", "T1").build()
+        assert sorted(run(db, translator.translate(plan))) == [
+            ("Jane", 5), ("Tom", 2), ("Tom", 5),
+        ]
+
+    def test_top_sort_becomes_order_by(self, db, translator):
+        plan = scan(db, "POSITION").sort("T1", "EmpName").build()
+        sql = translator.translate(plan)
+        assert "ORDER BY T1, EmpName" in sql
+        rows = run(db, sql)
+        assert [row[2] for row in rows] == [2, 5, 5]
+
+    def test_interior_sort_dropped(self, db, translator):
+        plan = (
+            scan(db, "POSITION")
+            .sort("T1")
+            .select(Comparison("=", col("PosID"), lit(1)))
+            .build()
+        )
+        sql = translator.translate(plan)
+        assert "ORDER BY" not in sql
+        assert len(run(db, sql)) == 2
+
+    def test_middleware_subtree_rejected(self, db, translator):
+        plan = scan(db, "POSITION").to_middleware().build()
+        with pytest.raises(PlanError):
+            translator.translate(plan)
+
+
+class TestJoins:
+    def test_regular_join(self, db, translator):
+        plan = scan(db, "POSITION").join(scan(db, "POSITION"), "PosID", "PosID").build()
+        rows = run(db, translator.translate(plan))
+        assert len(rows) == 5  # 2x2 for position 1 plus 1x1 for position 2
+        assert len(rows[0]) == 8
+
+    def test_join_with_residual(self, db, translator):
+        residual = Comparison("<", col("T1"), col("T1_2"))
+        plan = (
+            scan(db, "POSITION")
+            .join(scan(db, "POSITION"), "PosID", "PosID", residual=residual)
+            .build()
+        )
+        rows = run(db, translator.translate(plan))
+        assert len(rows) == 1  # only Tom(2) before Jane(5)
+
+    def test_temporal_join_figure5_shape(self, db, translator):
+        plan = (
+            scan(db, "POSITION")
+            .temporal_join(scan(db, "POSITION"), "PosID", "PosID")
+            .build()
+        )
+        sql = translator.translate(plan)
+        assert "GREATEST" in sql and "LEAST" in sql
+        rows = run(db, sql)
+        # Overlapping self-pairs: pos1 Tom-Tom, Tom-Jane, Jane-Tom,
+        # Jane-Jane; pos2 Tom-Tom.
+        assert len(rows) == 5
+        tom_jane = [row for row in rows if row[1] == "Tom" and row[3] == "Jane"]
+        assert tom_jane[0][-2:] == (5, 20)
+
+    def test_product(self, db, translator):
+        plan = scan(db, "POSITION").product(scan(db, "POSITION")).build()
+        assert len(run(db, translator.translate(plan))) == 9
+
+
+class TestTemporalAggregation:
+    def test_taggr_d_matches_figure3(self, db, translator):
+        plan = (
+            scan(db, "POSITION")
+            .project("PosID", "T1", "T2")
+            .taggr(group_by=["PosID"], count="PosID")
+            .sort("PosID", "T1")
+            .build()
+        )
+        rows = run(db, translator.translate(plan))
+        assert rows == [(1, 2, 5, 1), (1, 5, 20, 2), (1, 20, 25, 1), (2, 5, 10, 1)]
+
+    def test_taggr_d_no_grouping(self, db, translator):
+        plan = (
+            scan(db, "POSITION")
+            .project("T1", "T2")
+            .taggr(count="T1")
+            .sort("T1")
+            .build()
+        )
+        rows = run(db, translator.translate(plan))
+        # Global constant intervals over {[2,20),[5,25),[5,10)}.
+        assert rows == [
+            (2, 5, 1), (5, 10, 3), (10, 20, 2), (20, 25, 1),
+        ]
+
+    def test_taggr_d_other_aggregates(self, db, translator):
+        from repro.algebra.operators import AggregateSpec
+
+        plan = (
+            scan(db, "POSITION")
+            .project("PosID", "T1", "T2")
+            .taggr(
+                group_by=["PosID"],
+                aggregates=[AggregateSpec("MIN", "T1", "FirstStart")],
+            )
+            .sort("PosID", "T1")
+            .build()
+        )
+        rows = run(db, translator.translate(plan))
+        assert rows[0] == (1, 2, 5, 2)
+
+
+class TestTransferDReferences:
+    def test_temp_table_substituted(self, db, translator):
+        db.execute("CREATE TABLE TMP_42 (PosID INT, CNT INT)")
+        db.execute("INSERT INTO TMP_42 VALUES (1, 2), (2, 1)")
+        mw_part = scan(db, "POSITION").project("PosID", "T1", "T2").to_middleware()
+        transfer_down = TransferD(mw_part.build())
+        from repro.algebra.operators import Sort
+
+        plan = Sort(transfer_down, Location.DBMS, ("PosID",))
+        sql = translator.translate(plan, {id(transfer_down): "TMP_42"})
+        assert "TMP_42" in sql
+
+    def test_unassigned_temp_table_rejected(self, db, translator):
+        transfer_down = TransferD(scan(db, "POSITION").to_middleware().build())
+        with pytest.raises(PlanError):
+            translator.translate(transfer_down, {})
+
+
+class TestDedup:
+    def test_distinct(self, db, translator):
+        plan = scan(db, "POSITION").project("EmpName").dedup().build()
+        rows = run(db, translator.translate(plan))
+        assert sorted(rows) == [("Jane",), ("Tom",)]

@@ -1,0 +1,108 @@
+"""Unit tests for the basic middleware algorithms: source, filter,
+project, sort."""
+
+import pytest
+
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.dbms.costmodel import CostMeter
+from repro.xxl.cursor import materialize
+from repro.xxl.filter import FilterCursor
+from repro.xxl.project import ProjectCursor
+from repro.xxl.sort import SortCursor
+from repro.xxl.sources import RelationCursor, SQLCursor
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("V", AttrType.INT),
+    ]
+)
+ROWS = [(3, 30), (1, 10), (2, 20), (1, 15)]
+
+
+def source():
+    return RelationCursor(SCHEMA, ROWS)
+
+
+class TestSQLCursor:
+    def test_streams_query_results(self, figure3_connection):
+        cursor = SQLCursor(figure3_connection, "SELECT PosID FROM POSITION ORDER BY PosID")
+        assert materialize(cursor) == [(1,), (1,), (2,)]
+
+    def test_schema_from_result_metadata(self, figure3_connection):
+        cursor = SQLCursor(figure3_connection, "SELECT PosID, T1 FROM POSITION")
+        cursor.init()
+        assert cursor.schema.names == ("PosID", "T1")
+
+    def test_sql_property(self, figure3_connection):
+        cursor = SQLCursor(figure3_connection, "SELECT 1 FROM POSITION")
+        assert "SELECT 1" in cursor.sql
+
+
+class TestFilter:
+    def test_filters(self):
+        cursor = FilterCursor(source(), Comparison("=", col("K"), lit(1)))
+        assert materialize(cursor) == [(1, 10), (1, 15)]
+
+    def test_order_preserving(self):
+        cursor = FilterCursor(source(), Comparison(">", col("V"), lit(12)))
+        assert materialize(cursor) == [(3, 30), (2, 20), (1, 15)]
+
+    def test_meter_charged_per_input_row(self):
+        meter = CostMeter()
+        materialize(FilterCursor(source(), Comparison(">", col("V"), lit(0)), meter))
+        assert meter.cpu == len(ROWS)
+
+    def test_empty_result(self):
+        cursor = FilterCursor(source(), Comparison(">", col("V"), lit(999)))
+        assert materialize(cursor) == []
+
+
+class TestProject:
+    def test_column_projection(self):
+        cursor = ProjectCursor.of_columns(source(), ["V"])
+        assert materialize(cursor) == [(30,), (10,), (20,), (15,)]
+
+    def test_expression_projection(self):
+        from repro.algebra.expressions import BinOp
+
+        cursor = ProjectCursor(source(), [("Sum", BinOp("+", col("K"), col("V")))])
+        assert materialize(cursor) == [(33,), (11,), (22,), (16,)]
+
+    def test_output_schema(self):
+        cursor = ProjectCursor.of_columns(source(), ["V", "K"])
+        cursor.init()
+        assert cursor.schema.names == ("V", "K")
+
+
+class TestSort:
+    def test_sorts_on_keys(self):
+        cursor = SortCursor(source(), ("K", "V"))
+        assert materialize(cursor) == [(1, 10), (1, 15), (2, 20), (3, 30)]
+
+    def test_single_key(self):
+        cursor = SortCursor(source(), ("V",))
+        assert materialize(cursor) == [(1, 10), (1, 15), (2, 20), (3, 30)]
+
+    def test_stable_on_equal_keys(self):
+        rows = [(1, "b"), (1, "a")]
+        schema = Schema([Attribute("K"), Attribute("Tag", AttrType.STR)])
+        cursor = SortCursor(RelationCursor(schema, rows), ("K",))
+        assert materialize(cursor) == [(1, "b"), (1, "a")]
+
+    def test_external_merge_many_runs(self):
+        rows = [(i % 97, i) for i in range(1000)]
+        cursor = SortCursor(RelationCursor(SCHEMA, rows), ("K",), run_size=64)
+        result = materialize(cursor)
+        assert [row[0] for row in result] == sorted(row[0] for row in rows)
+        assert len(result) == 1000
+
+    def test_empty_input(self):
+        cursor = SortCursor(RelationCursor(SCHEMA, []), ("K",))
+        assert materialize(cursor) == []
+
+    def test_meter_charged(self):
+        meter = CostMeter()
+        materialize(SortCursor(source(), ("K",), meter))
+        assert meter.cpu > 0

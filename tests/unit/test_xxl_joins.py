@@ -1,0 +1,173 @@
+"""Unit tests for the middleware sort-merge joins (regular and temporal)."""
+
+import pytest
+
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.dbms.costmodel import CostMeter
+from repro.xxl.cursor import materialize
+from repro.xxl.merge_join import MergeJoinCursor, read_group
+from repro.xxl.sources import RelationCursor
+from repro.xxl.temporal_join import TemporalJoinCursor
+
+LEFT_SCHEMA = Schema([Attribute("K"), Attribute("L")])
+RIGHT_SCHEMA = Schema([Attribute("K2"), Attribute("R")])
+
+TEMPORAL_SCHEMA = Schema(
+    [
+        Attribute("PosID", AttrType.INT),
+        Attribute("Name", AttrType.STR),
+        Attribute("T1", AttrType.DATE),
+        Attribute("T2", AttrType.DATE),
+    ]
+)
+
+
+def left(rows):
+    return RelationCursor(LEFT_SCHEMA, rows)
+
+
+def right(rows):
+    return RelationCursor(RIGHT_SCHEMA, rows)
+
+
+class TestReadGroup:
+    def test_reads_value_pack(self):
+        cursor = RelationCursor(LEFT_SCHEMA, [(1, "a"), (1, "b"), (2, "c")]).init()
+        first = cursor.next()
+        group, lookahead = read_group(cursor, 0, first)
+        assert group == [(1, "a"), (1, "b")]
+        assert lookahead == (2, "c")
+
+    def test_last_group_returns_none_lookahead(self):
+        cursor = RelationCursor(LEFT_SCHEMA, [(1, "a")]).init()
+        group, lookahead = read_group(cursor, 0, cursor.next())
+        assert group == [(1, "a")]
+        assert lookahead is None
+
+
+class TestMergeJoin:
+    def test_basic(self):
+        cursor = MergeJoinCursor(
+            left([(1, "a"), (2, "b"), (4, "d")]),
+            right([(2, "x"), (3, "y"), (4, "z")]),
+            "K",
+            "K2",
+        )
+        assert materialize(cursor) == [(2, "b", 2, "x"), (4, "d", 4, "z")]
+
+    def test_value_pack_cross_product(self):
+        cursor = MergeJoinCursor(
+            left([(1, "a"), (1, "b")]),
+            right([(1, "x"), (1, "y")]),
+            "K",
+            "K2",
+        )
+        assert len(materialize(cursor)) == 4
+
+    def test_residual_predicate(self):
+        cursor = MergeJoinCursor(
+            left([(1, 5), (1, 9)]),
+            right([(1, 7)]),
+            "K",
+            "K2",
+            residual=Comparison("<", col("L"), col("R")),
+        )
+        assert materialize(cursor) == [(1, 5, 1, 7)]
+
+    def test_schema_concat_disambiguates(self):
+        cursor = MergeJoinCursor(
+            RelationCursor(LEFT_SCHEMA, []),
+            RelationCursor(LEFT_SCHEMA, []),
+            "K",
+            "K",
+        )
+        cursor.init()
+        assert cursor.schema.names == ("K", "L", "K_2", "L_2")
+
+    def test_empty_sides(self):
+        assert materialize(MergeJoinCursor(left([]), right([(1, "x")]), "K", "K2")) == []
+
+    def test_output_ordered_on_join_key(self):
+        cursor = MergeJoinCursor(
+            left([(1, "a"), (2, "b"), (3, "c")]),
+            right([(1, "x"), (2, "y"), (3, "z")]),
+            "K",
+            "K2",
+        )
+        keys = [row[0] for row in materialize(cursor)]
+        assert keys == sorted(keys)
+
+
+class TestTemporalJoin:
+    def make(self, left_rows, right_rows, meter=None):
+        return TemporalJoinCursor(
+            RelationCursor(TEMPORAL_SCHEMA, left_rows),
+            RelationCursor(TEMPORAL_SCHEMA, right_rows),
+            "PosID",
+            "PosID",
+            meter=meter,
+        )
+
+    def test_overlap_and_intersection(self):
+        cursor = self.make(
+            [(1, "Tom", 2, 20)],
+            [(1, "Jane", 5, 25)],
+        )
+        assert materialize(cursor) == [(1, "Tom", 1, "Jane", 5, 20)]
+
+    def test_non_overlapping_dropped(self):
+        cursor = self.make([(1, "Tom", 2, 5)], [(1, "Jane", 5, 8)])
+        assert materialize(cursor) == []
+
+    def test_key_mismatch_dropped(self):
+        cursor = self.make([(1, "Tom", 2, 20)], [(2, "Jane", 5, 25)])
+        assert materialize(cursor) == []
+
+    def test_schema_single_period(self):
+        cursor = self.make([], [])
+        cursor.init()
+        assert cursor.schema.names == (
+            "PosID", "Name", "PosID_2", "Name_2", "T1", "T2",
+        )
+
+    def test_figure3_shape(self):
+        # Aggregation result joined back with POSITION (Figure 3(b) counts).
+        agg_schema = Schema(
+            [
+                Attribute("PosID", AttrType.INT),
+                Attribute("T1", AttrType.DATE),
+                Attribute("T2", AttrType.DATE),
+                Attribute("CNT", AttrType.INT),
+            ]
+        )
+        aggregated = RelationCursor(
+            agg_schema,
+            [(1, 2, 5, 1), (1, 5, 20, 2), (1, 20, 25, 1), (2, 5, 10, 1)],
+        )
+        position = RelationCursor(
+            TEMPORAL_SCHEMA,
+            [(1, "Tom", 2, 20), (1, "Jane", 5, 25), (2, "Tom", 5, 10)],
+        )
+        cursor = TemporalJoinCursor(aggregated, position, "PosID", "PosID")
+        rows = materialize(cursor)
+        assert len(rows) == 5
+        # row layout: (PosID, CNT, PosID_2, Name, T1, T2)
+        tom_first = [row for row in rows if row[3] == "Tom" and row[4] == 2]
+        assert tom_first == [(1, 1, 1, "Tom", 2, 5)]
+
+    def test_multiple_overlaps_per_pack(self):
+        cursor = self.make(
+            [(1, "A", 0, 10)],
+            [(1, "B", 2, 4), (1, "C", 6, 12), (1, "D", 20, 30)],
+        )
+        rows = materialize(cursor)
+        assert [(row[3], row[4], row[5]) for row in rows] == [
+            ("B", 2, 4),
+            ("C", 6, 10),
+        ]
+
+    def test_meter_charged(self):
+        meter = CostMeter()
+        materialize(self.make([(1, "A", 0, 10)], [(1, "B", 2, 4)], meter))
+        assert meter.cpu > 0
