@@ -1,0 +1,82 @@
+"""Observability overhead — tracing must be (nearly) free on Query 1.
+
+The design split: ``TangoConfig(tracing=True)`` builds span trees from
+numbers the cursors track anyway (cardinalities, transfer timings), adding
+no per-row work; ``explain_analyze`` wraps every cursor to time individual
+``next()`` calls and is allowed to cost more, as EXPLAIN ANALYZE does in
+any database.  This benchmark enforces the first half: < 10 % overhead on
+the paper's Query 1, measured interleaved to cancel machine drift.
+"""
+
+import time
+
+from harness import fmt, print_series
+
+from repro.core.tango import Tango, TangoConfig
+from repro.workloads.queries import query1_sql
+
+ROUNDS = 15
+OVERHEAD_BUDGET = 0.10
+
+
+def timed_query(tango: Tango, sql: str) -> float:
+    begin = time.perf_counter()
+    tango.query(sql)
+    return time.perf_counter() - begin
+
+
+def test_tracing_overhead_under_budget(bench_db):
+    sql = query1_sql()
+    plain = Tango(bench_db)
+    traced = Tango(bench_db, config=TangoConfig(tracing=True))
+    for tango in (plain, traced):  # warm caches and statistics
+        tango.query(sql)
+
+    base_times, traced_times = [], []
+    for _ in range(ROUNDS):
+        base_times.append(timed_query(plain, sql))
+        traced_times.append(timed_query(traced, sql))
+
+    base, with_tracing = min(base_times), min(traced_times)
+    overhead = with_tracing / base - 1.0
+    print_series(
+        "Tracing overhead, Query 1",
+        ["variant", "best", "overhead"],
+        [
+            ["tracing off", fmt(base), "-"],
+            ["tracing on", fmt(with_tracing), f"{overhead * 100:+.1f}%"],
+        ],
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"tracing overhead {overhead:.1%} exceeds {OVERHEAD_BUDGET:.0%} "
+        f"({fmt(with_tracing)} vs {fmt(base)})"
+    )
+
+
+def test_traced_query_still_correct(bench_db):
+    """The traced run returns the same relation and a complete span tree."""
+    sql = query1_sql()
+    plain = Tango(bench_db)
+    traced = Tango(bench_db, config=TangoConfig(tracing=True))
+    expected = plain.query(sql).rows
+    result = traced.query(sql)
+    assert result.rows == expected
+    assert result.trace.find(name="execute") is not None
+
+
+def test_explain_analyze_overhead_is_reported(bench_db):
+    """Not asserted against the budget — per-next() timing is the price of
+    EXPLAIN ANALYZE — but printed so regressions are visible."""
+    sql = query1_sql()
+    tango = Tango(bench_db)
+    tango.query(sql)
+    base = min(timed_query(tango, sql) for _ in range(5))
+    begin = time.perf_counter()
+    report = tango.explain_analyze(sql)
+    analyzed = time.perf_counter() - begin
+    assert len(report) > 0
+    print_series(
+        "EXPLAIN ANALYZE, Query 1",
+        ["variant", "seconds"],
+        [["plain query", fmt(base)], ["explain_analyze", fmt(analyzed)]],
+    )

@@ -27,19 +27,25 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record of every figure.
 """
 
-from repro.core import Tango, QueryResult
+from repro.core import Tango, TangoConfig, QueryResult
 from repro.dbms import MiniDB, Connection
+from repro.obs import ExplainAnalyzeReport, MetricsRegistry, Span, Tracer
 from repro.optimizer import CostFactors, Optimizer, PlanCoster
 from repro.stats import StatisticsCollector, CardinalityEstimator
 from repro.temporal import Period, day_of, date_of
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Tango",
+    "TangoConfig",
     "QueryResult",
     "MiniDB",
     "Connection",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "ExplainAnalyzeReport",
     "CostFactors",
     "Optimizer",
     "PlanCoster",

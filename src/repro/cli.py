@@ -5,6 +5,7 @@ Usage::
     python -m repro                 # interactive session
     python -m repro script.sql      # execute a ;-separated script
     python -m repro --uis 0.01      # preload the scaled UIS dataset
+    python -m repro --trace         # print a span tree after each query
 
 Statements are regular SQL (executed by MiniDB) or temporal SQL
 (``VALIDTIME ...``, routed through the TANGO optimizer and execution
@@ -12,10 +13,14 @@ engine).  Meta-commands:
 
     \\tables              list tables with cardinalities
     \\explain <query>     show the chosen plan and its cost breakdown
+    \\explain --analyze <query>
+                         execute instrumented; estimated vs actual rows/cost
     \\plan <query>        show the execution-ready algorithm sequence
     \\analyze             ANALYZE every table
     \\calibrate           fit cost factors on this machine
     \\timing on|off       toggle per-statement timing
+    \\trace on|off        toggle per-statement span trees
+    \\metrics             dump the middleware metrics registry
     \\quit                leave
 """
 
@@ -25,7 +30,7 @@ import sys
 import time
 
 from repro.core.plans import compile_plan
-from repro.core.tango import Tango
+from repro.core.tango import Tango, TangoConfig
 from repro.dbms.database import MiniDB
 from repro.errors import ReproError
 
@@ -56,10 +61,11 @@ def format_table(names, rows, limit: int = 40) -> str:
 class Shell:
     """Dispatches statements and meta-commands against one Tango instance."""
 
-    def __init__(self, tango: Tango, out=sys.stdout):
+    def __init__(self, tango: Tango, out=sys.stdout, show_trace: bool = False):
         self.tango = tango
         self.out = out
         self.timing = True
+        self.show_trace = show_trace
 
     def echo(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -100,6 +106,8 @@ class Shell:
                     f"est {result.estimated_cost:.0f}us]"
                 )
             self.echo(f"time: {elapsed:.4f}s{note}")
+        if self.show_trace and result.trace is not None:
+            self.echo(result.trace.render())
 
     def _meta(self, command: str) -> bool:
         word, _, argument = command.partition(" ")
@@ -118,7 +126,11 @@ class Shell:
             return True
         if word == "\\explain":
             try:
-                self.echo(self.tango.explain(argument))
+                if argument.startswith("--analyze"):
+                    query = argument[len("--analyze"):].strip()
+                    self.echo(str(self.tango.explain_analyze(query)))
+                else:
+                    self.echo(self.tango.explain(argument))
             except ReproError as error:
                 self.echo(f"error: {error}")
             return True
@@ -148,6 +160,15 @@ class Shell:
         if word == "\\timing":
             self.timing = argument.lower() != "off"
             self.echo(f"timing {'on' if self.timing else 'off'}")
+            return True
+        if word == "\\trace":
+            self.show_trace = argument.lower() != "off"
+            # Tracing needs the tracer recording, whatever the config said.
+            self.tango.tracer.enabled = self.show_trace
+            self.echo(f"trace {'on' if self.show_trace else 'off'}")
+            return True
+        if word == "\\metrics":
+            self.echo(self.tango.metrics.render())
             return True
         if word == "\\help":
             self.echo(__doc__ or "")
@@ -179,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     db = MiniDB()
     script_path: str | None = None
+    tracing = False
     while argv:
         argument = argv.pop(0)
         if argument == "--uis":
@@ -187,13 +209,16 @@ def main(argv: list[str] | None = None) -> int:
 
             print(f"loading UIS dataset at scale {scale}...")
             load_uis(db, scale=scale)
+        elif argument == "--trace":
+            tracing = True
         elif argument in ("-h", "--help"):
             print(__doc__)
             return 0
         else:
             script_path = argument
 
-    shell = Shell(Tango(db))
+    tango = Tango(db, config=TangoConfig(tracing=tracing))
+    shell = Shell(tango, show_trace=tracing)
     if script_path is not None:
         with open(script_path) as handle:
             for statement in split_statements(handle.read()):

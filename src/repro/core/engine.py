@@ -4,6 +4,16 @@
 plan, call ``init()`` on each in sequence, then drain the last one —
 pipelined execution where earlier ``TRANSFER^D`` steps have materialized
 their temp tables by the time later ``TRANSFER^M`` SQL references them.
+
+Every execution is materialized as a span tree (:mod:`repro.obs`): one
+child span per plan step, nested spans per cursor carrying cardinalities,
+transfer spans carrying the tuple/byte/second attributes the Section 7
+feedback loop consumes.  That costs nothing per row — the cursors track
+those numbers anyway.  With ``instrument=True`` the plan's cursors are
+additionally wrapped in
+:class:`~repro.obs.instrument.InstrumentedCursor` so the spans also record
+per-cursor ``next()`` counts and wall time; that is the EXPLAIN ANALYZE
+path, and (as in any database) the per-call timing is not free.
 """
 
 from __future__ import annotations
@@ -12,8 +22,10 @@ import time
 from dataclasses import dataclass, field
 
 from repro.algebra.schema import Schema
-from repro.core.feedback import TransferObservation
+from repro.core.feedback import TransferObservation, observations_from_trace
 from repro.core.plans import ExecutionPlan
+from repro.obs.instrument import execution_trace, instrument_plan
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
 
 
 @dataclass
@@ -24,8 +36,12 @@ class ExecutionOutcome:
     rows: list[tuple]
     elapsed_seconds: float
     steps: int
-    #: Per-transfer timings (the Section 7 performance-feedback signal).
+    #: Per-transfer timings (the Section 7 performance-feedback signal),
+    #: derived from the trace's transfer spans.
     observations: list[TransferObservation] = field(default_factory=list)
+    #: The execution's span tree (always present; per-cursor wall time and
+    #: next() counts appear when the engine ran with ``instrument=True``).
+    trace: Span | None = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -40,8 +56,16 @@ class ExecutionEngine:
     def __init__(self, cleanup_temp_tables: bool = True):
         self.cleanup_temp_tables = cleanup_temp_tables
 
-    def execute(self, plan: ExecutionPlan) -> ExecutionOutcome:
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        tracer: Tracer | None = None,
+        instrument: bool = False,
+    ) -> ExecutionOutcome:
         """Figure 2's ExecuteQuery: init every result set, drain the last."""
+        tracer = tracer if tracer is not None else NULL_TRACER
+        if instrument:
+            instrument_plan(plan)
         begin = time.perf_counter()
         try:
             for step in plan.steps:
@@ -49,57 +73,20 @@ class ExecutionEngine:
             output = plan.output
             rows = [output.next() for _ in iter(output.has_next, False)]
             schema = output.schema
-            observations = _collect_observations(plan)
         finally:
             for step in plan.steps:
                 step.close()
             if self.cleanup_temp_tables:
                 plan.cleanup()
         elapsed = time.perf_counter() - begin
+        trace = execution_trace(plan, elapsed)
+        trace.set(rows=len(rows))
+        tracer.attach(trace)
         return ExecutionOutcome(
             schema=schema,
             rows=rows,
             elapsed_seconds=elapsed,
             steps=len(plan.steps),
-            observations=observations,
+            observations=observations_from_trace(trace),
+            trace=trace,
         )
-
-
-def _collect_observations(plan: ExecutionPlan) -> list:
-    """Harvest transfer timings from every cursor in the executed plan."""
-    from repro.xxl.sources import SQLCursor
-    from repro.xxl.transfer import TransferDCursor
-
-    observations = []
-    seen: set[int] = set()
-
-    def visit(cursor) -> None:
-        if id(cursor) in seen:
-            return
-        seen.add(id(cursor))
-        if isinstance(cursor, SQLCursor):
-            observations.append(
-                TransferObservation(
-                    direction="up",
-                    tuples=cursor.rows_produced,
-                    bytes=cursor.rows_produced * cursor.schema.row_width,
-                    seconds=cursor.fetch_seconds,
-                )
-            )
-        elif isinstance(cursor, TransferDCursor):
-            observations.append(
-                TransferObservation(
-                    direction="down",
-                    tuples=cursor.rows_loaded,
-                    bytes=cursor.rows_loaded * cursor.schema.row_width,
-                    seconds=cursor.load_seconds,
-                )
-            )
-        for attribute in ("_input", "_left", "_right"):
-            child = getattr(cursor, attribute, None)
-            if child is not None and hasattr(child, "has_next"):
-                visit(child)
-
-    for step in plan.steps:
-        visit(step)
-    return observations

@@ -12,16 +12,20 @@ fetch took, and each ``TRANSFER^D`` knows its load size and time.  (The
 paper calls dividing the remaining time between the DBMS's internal
 algorithms "an interesting challenge" and leaves it open; so do we.)
 
-:class:`FeedbackAdapter` folds those observations into the per-tuple
-transfer factors with an exponential moving average, so a middleware
-running against a suddenly slower (or faster) DBMS connection re-apportions
-subsequent queries without a recalibration pass.
+Observations ride the observability layer: the Execution Engine materializes
+every run as a span tree (:mod:`repro.obs`), and
+:func:`observations_from_trace` projects that tree's transfer spans into
+:class:`TransferObservation` values.  :class:`FeedbackAdapter` folds those
+observations into the per-tuple transfer factors with an exponential moving
+average, so a middleware running against a suddenly slower (or faster) DBMS
+connection re-apportions subsequent queries without a recalibration pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.obs.tracing import Span
 from repro.optimizer.costs import CostFactors
 
 
@@ -40,6 +44,29 @@ class TransferObservation:
         if self.tuples <= 0:
             return 0.0
         return self.seconds * 1e6 / self.tuples
+
+
+def observations_from_trace(trace: Span) -> list[TransferObservation]:
+    """Project a span tree's transfer spans into observations.
+
+    Every ``kind="transfer"`` span carries ``direction``, ``tuples``,
+    ``bytes``, and ``seconds`` attributes (the transfer algorithms time
+    themselves, so the signal exists even when full tracing is off).
+    """
+    observations: list[TransferObservation] = []
+    for span in trace.iter():
+        if span.kind != "transfer":
+            continue
+        attributes = span.attributes
+        observations.append(
+            TransferObservation(
+                direction=attributes["direction"],
+                tuples=int(attributes.get("tuples", 0)),
+                bytes=int(attributes.get("bytes", 0)),
+                seconds=float(attributes.get("seconds", 0.0)),
+            )
+        )
+    return observations
 
 
 class FeedbackAdapter:

@@ -33,6 +33,7 @@ from repro.algebra.operators import (
 from repro.core.translator import SQLTranslator
 from repro.dbms.costmodel import CostMeter
 from repro.errors import PlanError
+from repro.obs.instrument import ALGORITHM_NAMES as _ALGORITHM_NAMES
 from repro.xxl import (
     CoalesceCursor,
     Cursor,
@@ -77,19 +78,6 @@ class ExecutionPlan:
             transfer.drop()
 
 
-_ALGORITHM_NAMES = {
-    "FilterCursor": "FILTER^M",
-    "ProjectCursor": "PROJECT^M",
-    "SortCursor": "SORT^M",
-    "MergeJoinCursor": "JOIN^M",
-    "TemporalJoinCursor": "TJOIN^M",
-    "TemporalAggregateCursor": "TAGGR^M",
-    "DedupCursor": "DEDUP^M",
-    "CoalesceCursor": "COAL^M",
-    "DifferenceCursor": "DIFF^M",
-}
-
-
 def _describe_cursor(cursor: Cursor, indent: int) -> list[str]:
     pad = "  " * indent
     if isinstance(cursor, SQLCursor):
@@ -126,18 +114,22 @@ def compile_plan(
     connection,
     meter: CostMeter | None = None,
     translator: SQLTranslator | None = None,
+    registry: dict[int, Operator] | None = None,
 ) -> ExecutionPlan:
     """Compile an optimized operator tree into an :class:`ExecutionPlan`.
 
     *plan* must be middleware-rooted (every complete TANGO plan ends with
-    the result in the middleware).
+    the result in the middleware).  When *registry* is given, each created
+    cursor is recorded there as ``id(cursor) -> plan node`` (a ``T^M``'s
+    SQL cursor maps to the ``TransferM`` node covering its DBMS region) —
+    the join key EXPLAIN ANALYZE uses to lay actuals against estimates.
     """
     if plan.location is not Location.MIDDLEWARE:
         raise PlanError(
             "execution plans must deliver their result to the middleware; "
             "wrap the tree in a T^M"
         )
-    compiler = _Compiler(connection, meter, translator or SQLTranslator())
+    compiler = _Compiler(connection, meter, translator or SQLTranslator(), registry)
     root = compiler.build(plan)
     execution_plan = ExecutionPlan(
         steps=compiler.steps + [root],
@@ -147,36 +139,48 @@ def compile_plan(
 
 
 class _Compiler:
-    def __init__(self, connection, meter: CostMeter | None, translator: SQLTranslator):
+    def __init__(
+        self,
+        connection,
+        meter: CostMeter | None,
+        translator: SQLTranslator,
+        registry: dict[int, Operator] | None = None,
+    ):
         self._connection = connection
         self._meter = meter
         self._translator = translator
+        self._registry = registry
         #: Steps that must be initialized before the output cursor, in order.
         self.steps: list[Cursor] = []
         self.transfers_down: list[TransferDCursor] = []
         #: id(TransferD node) -> temp table name, for the translator.
         self._temp_names: dict[int, str] = {}
 
+    def _register(self, cursor: Cursor, node: Operator) -> Cursor:
+        if self._registry is not None:
+            self._registry[id(cursor)] = node
+        return cursor
+
     def build(self, node: Operator) -> Cursor:
         """Cursor for a middleware-located operator."""
         if isinstance(node, TransferM):
-            return self._build_transfer_m(node)
+            return self._register(self._build_transfer_m(node), node)
         if isinstance(node, Select):
-            return FilterCursor(self.build(node.input), node.predicate, self._meter)
-        if isinstance(node, Project):
-            return ProjectCursor(self.build(node.input), node.outputs, self._meter)
-        if isinstance(node, Sort):
-            return SortCursor(self.build(node.input), node.keys, self._meter)
-        if isinstance(node, TemporalAggregate):
-            return TemporalAggregateCursor(
+            cursor = FilterCursor(self.build(node.input), node.predicate, self._meter)
+        elif isinstance(node, Project):
+            cursor = ProjectCursor(self.build(node.input), node.outputs, self._meter)
+        elif isinstance(node, Sort):
+            cursor = SortCursor(self.build(node.input), node.keys, self._meter)
+        elif isinstance(node, TemporalAggregate):
+            cursor = TemporalAggregateCursor(
                 self.build(node.input),
                 node.group_by,
                 node.aggregates,
                 node.period,
                 self._meter,
             )
-        if isinstance(node, TemporalJoin):
-            return TemporalJoinCursor(
+        elif isinstance(node, TemporalJoin):
+            cursor = TemporalJoinCursor(
                 self.build(node.left),
                 self.build(node.right),
                 node.left_attr,
@@ -184,8 +188,8 @@ class _Compiler:
                 node.period,
                 self._meter,
             )
-        if isinstance(node, Join):
-            return MergeJoinCursor(
+        elif isinstance(node, Join):
+            cursor = MergeJoinCursor(
                 self.build(node.left),
                 self.build(node.right),
                 node.left_attr,
@@ -193,18 +197,20 @@ class _Compiler:
                 node.residual,
                 self._meter,
             )
-        if isinstance(node, Dedup):
-            return DedupCursor(self.build(node.input), meter=self._meter)
-        if isinstance(node, Coalesce):
-            return CoalesceCursor(self.build(node.input), node.period, self._meter)
-        if isinstance(node, Difference):
-            return DifferenceCursor(
+        elif isinstance(node, Dedup):
+            cursor = DedupCursor(self.build(node.input), meter=self._meter)
+        elif isinstance(node, Coalesce):
+            cursor = CoalesceCursor(self.build(node.input), node.period, self._meter)
+        elif isinstance(node, Difference):
+            cursor = DifferenceCursor(
                 self.build(node.left), self.build(node.right), self._meter
             )
-        raise PlanError(
-            f"{node.name} at {node.location.value} cannot start a middleware "
-            "pipeline (expected a T^M boundary below it)"
-        )
+        else:
+            raise PlanError(
+                f"{node.name} at {node.location.value} cannot start a middleware "
+                "pipeline (expected a T^M boundary below it)"
+            )
+        return self._register(cursor, node)
 
     def _build_transfer_m(self, node: TransferM) -> SQLCursor:
         """One TRANSFER^M step covering the DBMS region below *node*.
@@ -231,6 +237,7 @@ class _Compiler:
                     table_name,
                     order=tuple(guaranteed_order(node.input)),
                 )
+                self._register(transfer, node)
                 self.steps.append(transfer)
                 self.transfers_down.append(transfer)
             return

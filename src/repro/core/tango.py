@@ -9,23 +9,35 @@ Typical use::
 
     db = MiniDB()
     ... create and populate tables ...
-    tango = Tango(db)
-    tango.refresh_statistics()
-    result = tango.query(
-        "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION "
-        "GROUP BY PosID ORDER BY PosID"
-    )
-    for row in result.rows: ...
+    with Tango(db, config=TangoConfig(tracing=True)) as tango:
+        tango.refresh_statistics()
+        result = tango.query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION "
+            "GROUP BY PosID ORDER BY PosID"
+        )
+        for row in result.rows: ...
+        print(result.trace.render())      # the query's span tree
 
 Regular (non-``VALIDTIME``) SQL is passed straight through to the DBMS —
 TANGO "captures the functionality of previously proposed stratum
 approaches" while adding shared query processing for temporal constructs.
+
+Behavioral knobs live in the frozen :class:`TangoConfig`; the old keyword
+arguments (``use_histograms``, ``prefetch``, ``adaptive``) still work but
+warn once.  Every instance carries a :class:`~repro.obs.metrics.
+MetricsRegistry` and a :class:`~repro.obs.tracing.Tracer`; with
+``tracing=True`` each temporal query produces a span tree (parse →
+optimize → translate → execute, down to per-cursor cardinalities and
+transfer timings) attached to the returned :class:`QueryResult`.  Tracing
+adds no per-row work; :meth:`Tango.explain_analyze` additionally wraps
+every cursor to time individual ``next()`` calls.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 from repro.algebra.operators import Operator
 from repro.algebra.schema import Schema
@@ -35,8 +47,12 @@ from repro.core.parser import is_temporal_query, parse_temporal_query
 from repro.core.plans import compile_plan
 from repro.core.translator import SQLTranslator
 from repro.dbms.database import MiniDB
+from repro.errors import DatabaseError
 from repro.dbms.costmodel import CostMeter
 from repro.dbms.jdbc import Connection
+from repro.obs.explain import ExplainAnalyzeReport, build_report
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
 from repro.optimizer.calibration import Calibrator
 from repro.optimizer.costs import CostFactors, PlanCoster
 from repro.optimizer.physical import validate_plan
@@ -46,12 +62,61 @@ from repro.stats.collector import StatisticsCollector
 from repro.stats.selectivity import PredicateEstimator
 
 
+@dataclass(frozen=True)
+class TangoConfig:
+    """Construction-time configuration of a :class:`Tango` instance.
+
+    Frozen: the middleware never mutates its configuration mid-flight.
+    Derive variants with :func:`dataclasses.replace`.
+    """
+
+    #: Use equi-width histograms for predicate selectivity estimation.
+    use_histograms: bool = True
+    #: JDBC row-prefetch for TRANSFER^M fetches (Section 3.2).
+    prefetch: int = 50
+    #: Feed observed transfer timings back into the cost factors
+    #: (the Section 7 adaptive loop).
+    adaptive: bool = False
+    #: Record a span tree for every temporal query (parse → optimize →
+    #: translate → execute, with per-cursor cardinalities and transfer
+    #: timings; per-``next()`` wall times are the EXPLAIN ANALYZE path).
+    tracing: bool = False
+
+
+#: The old Tango(...) keyword arguments now living in TangoConfig.
+_LEGACY_KWARGS = ("use_histograms", "prefetch", "adaptive", "tracing")
+
+_legacy_kwargs_warned = False
+
+
+def _shim_config(config, legacy: dict) -> TangoConfig:
+    """Fold deprecated constructor kwargs into a TangoConfig, warning once."""
+    global _legacy_kwargs_warned
+    if isinstance(config, bool):
+        # Oldest calling convention: Tango(db, use_histograms_positionally).
+        if legacy.get("use_histograms") is None:
+            legacy["use_histograms"] = config
+        config = None
+    supplied = {key: value for key, value in legacy.items() if value is not None}
+    if supplied and not _legacy_kwargs_warned:
+        _legacy_kwargs_warned = True
+        warnings.warn(
+            f"passing {', '.join(sorted(supplied))} to Tango() directly is "
+            "deprecated; use Tango(db, config=TangoConfig(...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    base = config if config is not None else TangoConfig()
+    return replace(base, **supplied) if supplied else base
+
+
 @dataclass
 class QueryResult:
     """What a TANGO query returns to the client."""
 
     schema: Schema
     rows: list[tuple]
+    #: Total wall time including middleware optimization (Section 5.1).
     elapsed_seconds: float
     #: The executed plan (None for straight DBMS passthrough).
     plan: Operator | None = None
@@ -60,12 +125,30 @@ class QueryResult:
     #: Memo complexity of the optimizer run.
     class_count: int | None = None
     element_count: int | None = None
+    #: Engine-only execution wall time (excludes parse/optimize/translate).
+    execution_seconds: float | None = None
+    #: The query's span tree when tracing was on (the full lifecycle for
+    #: Tango.query; the execution subtree for Tango.execute_plan).
+    trace: Span | None = field(default=None, repr=False)
 
     def __iter__(self):
         return iter(self.rows)
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def to_dict(self) -> dict:
+        """Structured form for programmatic consumers (JSON-ready)."""
+        return {
+            "columns": list(self.schema.names),
+            "rows": [list(row) for row in self.rows],
+            "elapsed_seconds": self.elapsed_seconds,
+            "execution_seconds": self.execution_seconds,
+            "estimated_cost": self.estimated_cost,
+            "class_count": self.class_count,
+            "element_count": self.element_count,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+        }
 
 
 class Tango:
@@ -74,34 +157,59 @@ class Tango:
     def __init__(
         self,
         db: MiniDB,
-        use_histograms: bool = True,
+        config: TangoConfig | None = None,
+        *,
         factors: CostFactors | None = None,
-        prefetch: int = 50,
         middleware_meter: CostMeter | None = None,
-        adaptive: bool = False,
+        use_histograms: bool | None = None,
+        prefetch: int | None = None,
+        adaptive: bool | None = None,
+        tracing: bool | None = None,
     ):
+        self.config = _shim_config(
+            config,
+            {
+                "use_histograms": use_histograms,
+                "prefetch": prefetch,
+                "adaptive": adaptive,
+                "tracing": tracing,
+            },
+        )
         self.db = db
-        self.connection = Connection(db, prefetch=prefetch)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=self.config.tracing)
+        self.connection = Connection(
+            db, prefetch=self.config.prefetch, metrics=self.metrics
+        )
         #: Meter charged by middleware algorithms (separate from the DBMS's).
         self.middleware_meter = middleware_meter or CostMeter()
         self.collector = StatisticsCollector(self.connection)
-        self.predicate_estimator = PredicateEstimator(use_histograms=use_histograms)
-        self.estimator = CardinalityEstimator(self.collector, self.predicate_estimator)
+        self.predicate_estimator = PredicateEstimator(
+            use_histograms=self.config.use_histograms
+        )
+        self.estimator = CardinalityEstimator(
+            self.collector, self.predicate_estimator, metrics=self.metrics
+        )
         self.factors = factors or CostFactors()
         self.translator = SQLTranslator()
         self.engine = ExecutionEngine()
-        #: When set, transfer timings observed during execution update the
-        #: cost factors (the Section 7 feedback loop; see repro.core.feedback).
-        self.adaptive = adaptive
         self.feedback = FeedbackAdapter()
         self._optimizer: Optimizer | None = None
+        self._closed = False
 
     # -- configuration ----------------------------------------------------------------
 
     @property
+    def adaptive(self) -> bool:
+        """Section 7 feedback loop on/off (see :class:`TangoConfig`)."""
+        return self.config.adaptive
+
+    @property
     def optimizer(self) -> Optimizer:
         if self._optimizer is None:
-            self._optimizer = Optimizer(self.estimator, self.factors)
+            self._optimizer = Optimizer(
+                self.estimator, self.factors, tracer=self.tracer
+            )
         return self._optimizer
 
     def refresh_statistics(self, tables: list[str] | None = None) -> None:
@@ -113,7 +221,9 @@ class Tango:
             self.db.analyze(table)
         self.collector.refresh()
         # Cardinality caches key on plan identity; new stats need a fresh one.
-        self.estimator = CardinalityEstimator(self.collector, self.predicate_estimator)
+        self.estimator = CardinalityEstimator(
+            self.collector, self.predicate_estimator, metrics=self.metrics
+        )
         self._optimizer = None
 
     def calibrate(
@@ -126,6 +236,34 @@ class Tango:
         self._optimizer = None
         return self.factors
 
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseError("this Tango instance is closed")
+
+    def close(self) -> None:
+        """Release the DBMS connection and flush metrics; idempotent.
+
+        The final metrics snapshot remains available as
+        :attr:`final_metrics` (and ``self.metrics`` stays readable).
+        """
+        if self._closed:
+            return
+        self.final_metrics = self.metrics.flush()
+        self.connection.close()
+        self._closed = True
+
+    def __enter__(self) -> "Tango":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- the query path ------------------------------------------------------------------
 
     def parse(self, sql: str) -> Operator:
@@ -134,28 +272,35 @@ class Tango:
 
     def optimize(self, query: str | Operator) -> OptimizationResult:
         """Run the two-phase optimizer on a query or an initial plan."""
-        plan = self.parse(query) if isinstance(query, str) else query
+        if isinstance(query, str):
+            with self.tracer.span("parse", kind="phase"):
+                plan = self.parse(query)
+        else:
+            plan = query
         result = self.optimizer.optimize(plan)
         validate_plan(result.plan)
+        self.metrics.histogram("memo_classes").observe(result.class_count)
+        self.metrics.histogram("memo_elements").observe(result.element_count)
         return result
 
     def execute_plan(self, plan: Operator) -> QueryResult:
         """Execute a complete (validated) plan tree."""
+        self._check_open()
         validate_plan(plan)
-        execution_plan = compile_plan(
-            plan, self.connection, self.middleware_meter, self.translator
-        )
-        outcome = self.engine.execute(execution_plan)
-        if self.adaptive and outcome.observations:
-            updated = self.feedback.apply(self.factors, outcome.observations)
-            if updated is not self.factors:
-                self.factors = updated
-                self._optimizer = None  # next query sees the new factors
+        with self.tracer.span("translate", kind="phase") as span:
+            execution_plan = compile_plan(
+                plan, self.connection, self.middleware_meter, self.translator
+            )
+            span.set(steps=len(execution_plan.steps))
+        outcome = self.engine.execute(execution_plan, tracer=self.tracer)
+        self._record_execution(outcome)
         return QueryResult(
             schema=outcome.schema,
             rows=outcome.rows,
             elapsed_seconds=outcome.elapsed_seconds,
+            execution_seconds=outcome.elapsed_seconds,
             plan=plan,
+            trace=outcome.trace if self.tracer.enabled else None,
         )
 
     def query(self, sql: str) -> QueryResult:
@@ -164,16 +309,26 @@ class Tango:
         Non-temporal statements go straight to the DBMS (stratum
         passthrough).
         """
+        self._check_open()
+        self.metrics.counter("queries_total").inc()
         if not is_temporal_query(sql):
+            self.metrics.counter("queries_passthrough").inc()
             return self._passthrough(sql)
+        self.metrics.counter("queries_temporal").inc()
         begin = time.perf_counter()
-        optimization = self.optimize(sql)
-        result = self.execute_plan(optimization.plan)
-        # Middleware optimization time is part of the query time (Section 5.1).
+        with self.tracer.span("query", kind="query", sql=sql) as query_span:
+            optimization = self.optimize(sql)
+            result = self.execute_plan(optimization.plan)
+        # Middleware optimization time is part of the query time (Section
+        # 5.1); execution_seconds keeps the engine-only share.
         result.elapsed_seconds = time.perf_counter() - begin
         result.estimated_cost = optimization.cost
         result.class_count = optimization.class_count
         result.element_count = optimization.element_count
+        if self.tracer.enabled:
+            query_span.set(rows=len(result.rows))
+            result.trace = query_span
+        self.metrics.histogram("query_seconds").observe(result.elapsed_seconds)
         return result
 
     def explain(self, sql: str) -> str:
@@ -185,14 +340,62 @@ class Tango:
             lines.append(f"  {cost:12.1f}  {label}")
         return "\n".join(lines)
 
+    def explain_analyze(self, query: str | Operator) -> ExplainAnalyzeReport:
+        """Optimize, execute instrumented, and lay actuals against estimates.
+
+        Returns an :class:`~repro.obs.explain.ExplainAnalyzeReport` — one
+        row per executed algorithm with estimated and actual cardinality
+        and cost; ``str()`` renders the table.  Instrumentation is always
+        on here, regardless of :attr:`TangoConfig.tracing`.
+        """
+        self.metrics.counter("queries_total").inc()
+        self.metrics.counter("queries_analyzed").inc()
+        optimization = self.optimize(query)
+        registry: dict[int, Operator] = {}
+        execution_plan = compile_plan(
+            optimization.plan,
+            self.connection,
+            self.middleware_meter,
+            self.translator,
+            registry=registry,
+        )
+        outcome = self.engine.execute(
+            execution_plan, tracer=Tracer(), instrument=True
+        )
+        self._record_execution(outcome)
+        coster = PlanCoster(self.estimator, self.factors)
+        return build_report(
+            outcome.trace,
+            registry,
+            self.estimator,
+            coster,
+            estimated_total_us=optimization.cost,
+            result_rows=len(outcome.rows),
+        )
+
+    def _record_execution(self, outcome) -> None:
+        """Metrics + adaptive feedback for one engine execution."""
+        self.metrics.histogram("execution_seconds").observe(outcome.elapsed_seconds)
+        for observation in outcome.observations:
+            prefix = "transfer_up" if observation.direction == "up" else "transfer_down"
+            self.metrics.counter(f"{prefix}_tuples").inc(observation.tuples)
+            self.metrics.counter(f"{prefix}_bytes").inc(observation.bytes)
+        if self.config.adaptive and outcome.observations:
+            updated = self.feedback.apply(self.factors, outcome.observations)
+            if updated is not self.factors:
+                self.factors = updated
+                self._optimizer = None  # next query sees the new factors
+                self.metrics.counter("feedback_updates").inc()
+
     def _passthrough(self, sql: str) -> QueryResult:
         begin = time.perf_counter()
         outcome = self.db.execute(sql)
         elapsed = time.perf_counter() - begin
+        self.metrics.histogram("query_seconds").observe(elapsed)
         if isinstance(outcome, int):
-            return QueryResult(Schema([]), [], elapsed)
+            return QueryResult(Schema([]), [], elapsed, execution_seconds=elapsed)
         rows = outcome.fetchall()
-        return QueryResult(outcome.schema, rows, elapsed)
+        return QueryResult(outcome.schema, rows, elapsed, execution_seconds=elapsed)
 
     # -- convenience ----------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.dbms.database import MiniDB
 from repro.dbms.loader import DirectPathLoader
 from repro.dbms.sql.executor import ResultSet
 from repro.errors import DatabaseError
+from repro.obs.metrics import MetricsRegistry
 
 #: Default JDBC row-prefetch (Oracle's historical default is 10).
 DEFAULT_PREFETCH = 10
@@ -85,6 +86,11 @@ class Cursor:
         meter = self._connection.db.meter
         meter.charge_cpu(ROUND_TRIP_COST)
         meter.charge_cpu(int(len(batch) * row_width * PER_BYTE_COST))
+        metrics = self._connection.metrics
+        if metrics is not None:
+            metrics.counter("dbms_round_trips").inc()
+            metrics.counter("dbms_rows_fetched").inc(len(batch))
+            metrics.counter("dbms_bytes_fetched").inc(len(batch) * row_width)
         if len(batch) < self.prefetch:
             self._exhausted = True
         self._buffer = batch
@@ -134,14 +140,36 @@ class Cursor:
 
 
 class Connection:
-    """A client connection to a MiniDB instance."""
+    """A client connection to a MiniDB instance.
 
-    def __init__(self, db: MiniDB, prefetch: int = DEFAULT_PREFETCH):
+    When built with a :class:`~repro.obs.metrics.MetricsRegistry`, the
+    connection counts its traffic: round trips, rows and bytes fetched,
+    rows bulk-loaded.
+    """
+
+    def __init__(
+        self,
+        db: MiniDB,
+        prefetch: int = DEFAULT_PREFETCH,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.db = db
         self.prefetch = prefetch
+        self.metrics = metrics
         self._loader = DirectPathLoader(db)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the connection; further statements are an error."""
+        self._closed = True
 
     def cursor(self, prefetch: int | None = None) -> Cursor:
+        if self._closed:
+            raise DatabaseError("connection is closed")
         return Cursor(self, prefetch if prefetch is not None else self.prefetch)
 
     def execute(self, sql: str) -> Cursor:
@@ -156,7 +184,12 @@ class Connection:
         order: Sequence[str] = (),
     ) -> int:
         """Direct-path load (the ``TRANSFER^D`` fast path)."""
-        return self._loader.load(table_name, schema, rows, order)
+        if self._closed:
+            raise DatabaseError("connection is closed")
+        loaded = self._loader.load(table_name, schema, rows, order)
+        if self.metrics is not None:
+            self.metrics.counter("dbms_rows_loaded").inc(loaded)
+        return loaded
 
     def drop_temp(self, table_name: str) -> None:
         self._loader.unload(table_name)

@@ -1,0 +1,54 @@
+"""Query-lifecycle observability: tracing, metrics, EXPLAIN ANALYZE.
+
+The middleware's Section 7 adaptivity depends on *observing* execution —
+transfer timings feed the cost-factor feedback loop — and every later
+performance claim needs a measurement substrate.  This package provides it:
+
+* :mod:`repro.obs.tracing` — hierarchical :class:`Span` trees over the
+  query lifecycle (parse → optimize → translate → execute), managed by a
+  :class:`Tracer`;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters and
+  histograms (queries served, memo complexity, transfer volume, cache
+  hits, DBMS round trips);
+* :mod:`repro.obs.instrument` — :class:`InstrumentedCursor` wrappers that
+  measure any XXL cursor without editing the algorithm classes, and the
+  span-tree materialization of finished executions;
+* :mod:`repro.obs.explain` — the EXPLAIN ANALYZE report joining optimizer
+  estimates with executed actuals per operator.
+"""
+
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.instrument import (
+    ALGORITHM_NAMES,
+    InstrumentedCursor,
+    algorithm_name,
+    cursor_span,
+    execution_trace,
+    instrument_plan,
+    unwrap,
+)
+from repro.obs.explain import (
+    ExplainAnalyzeReport,
+    OperatorMeasurement,
+    build_report,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ALGORITHM_NAMES",
+    "InstrumentedCursor",
+    "algorithm_name",
+    "cursor_span",
+    "execution_trace",
+    "instrument_plan",
+    "unwrap",
+    "ExplainAnalyzeReport",
+    "OperatorMeasurement",
+    "build_report",
+]

@@ -1,0 +1,193 @@
+"""EXPLAIN ANALYZE: estimated-versus-actual, per operator.
+
+:func:`build_report` joins three sources over one executed query:
+
+* the optimizer's chosen plan (operator tree, node identities);
+* the estimates — per-node cardinality from the
+  :class:`~repro.stats.cardinality.CardinalityEstimator` and per-node cost
+  from the :class:`~repro.optimizer.costs.PlanCoster`;
+* the actuals — the execution span tree produced by
+  :func:`repro.obs.instrument.execution_trace`, whose cursor spans are
+  linked back to plan nodes through the compile-time cursor registry
+  (see :func:`repro.core.plans.compile_plan`).
+
+A ``TRANSFER^M`` row is costed for its whole DBMS region (the SQL the
+cursor ships covers every operator below the ``T^M``, down to any ``T^D``
+boundaries), because its measured time likewise includes the DBMS's work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import Operator, TransferD, TransferM
+from repro.obs.tracing import Span
+
+
+@dataclass
+class OperatorMeasurement:
+    """One row of the EXPLAIN ANALYZE table."""
+
+    algorithm: str
+    operator: str
+    depth: int
+    estimated_rows: float | None
+    actual_rows: int
+    estimated_cost_us: float | None
+    #: Wall time inside this cursor minus time inside its children.
+    actual_self_us: float | None
+    #: Wall time inside this cursor including children (None untraced).
+    actual_total_us: float | None
+    next_calls: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "operator": self.operator,
+            "depth": self.depth,
+            "estimated_rows": self.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "estimated_cost_us": self.estimated_cost_us,
+            "actual_self_us": self.actual_self_us,
+            "actual_total_us": self.actual_total_us,
+            "next_calls": self.next_calls,
+        }
+
+
+@dataclass
+class ExplainAnalyzeReport:
+    """Per-operator estimated-vs-actual table for one executed query."""
+
+    operators: list[OperatorMeasurement]
+    estimated_total_us: float
+    actual_seconds: float
+    result_rows: int
+    trace: Span
+
+    def __iter__(self):
+        return iter(self.operators)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def to_dict(self) -> dict:
+        return {
+            "operators": [measurement.to_dict() for measurement in self.operators],
+            "estimated_total_us": self.estimated_total_us,
+            "actual_seconds": self.actual_seconds,
+            "result_rows": self.result_rows,
+            "trace": self.trace.to_dict(),
+        }
+
+    def __str__(self) -> str:
+        header = (
+            f"{'operator':<44} {'est rows':>10} {'act rows':>10} "
+            f"{'est us':>12} {'act us':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for m in self.operators:
+            label = "  " * m.depth + m.algorithm
+            if m.operator:
+                label += f"  {m.operator}"
+            if len(label) > 44:
+                label = label[:41] + "..."
+            est_rows = f"{m.estimated_rows:.0f}" if m.estimated_rows is not None else "-"
+            est_cost = (
+                f"{m.estimated_cost_us:.1f}" if m.estimated_cost_us is not None else "-"
+            )
+            actual = f"{m.actual_self_us:.1f}" if m.actual_self_us is not None else "-"
+            lines.append(
+                f"{label:<44} {est_rows:>10} {m.actual_rows:>10} "
+                f"{est_cost:>12} {actual:>12}"
+            )
+        lines.append(
+            f"estimated total: {self.estimated_total_us:.1f}us   "
+            f"actual: {self.actual_seconds * 1e6:.1f}us   "
+            f"rows: {self.result_rows}"
+        )
+        return "\n".join(lines)
+
+
+def build_report(
+    trace: Span,
+    registry: dict[int, Operator],
+    estimator,
+    coster,
+    estimated_total_us: float,
+    result_rows: int,
+) -> ExplainAnalyzeReport:
+    """Assemble the report from an ``execute`` span tree.
+
+    *registry* maps ``id(cursor)`` (the ``cursor_id`` span attribute) to the
+    plan node the cursor implements; *estimator* and *coster* supply the
+    estimates against which the span actuals are laid.
+    """
+    measurements: list[OperatorMeasurement] = []
+
+    def visit(span: Span, depth: int) -> None:
+        if span.kind not in ("cursor", "transfer"):
+            for child in span.children:
+                visit(child, depth)
+            return
+        node = registry.get(span.attributes.get("cursor_id"))
+        estimated_rows = estimated_cost = None
+        operator_label = ""
+        if node is not None:
+            estimated_rows = float(estimator.estimate(node).cardinality)
+            estimated_cost = _estimated_cost(node, coster)
+            operator_label = node.describe()
+        actual_total = actual_self = next_calls = None
+        if span.seconds is not None:
+            actual_total = span.elapsed_seconds * 1e6
+            child_time = sum(
+                child.elapsed_seconds
+                for child in span.children
+                if child.kind in ("cursor", "transfer") and child.seconds is not None
+            )
+            actual_self = max(0.0, actual_total - child_time * 1e6)
+            next_calls = span.attributes.get("next_calls")
+        actual_rows = int(
+            span.attributes.get("tuples", span.attributes.get("rows", 0))
+        )
+        measurements.append(
+            OperatorMeasurement(
+                algorithm=span.name,
+                operator=operator_label,
+                depth=depth,
+                estimated_rows=estimated_rows,
+                actual_rows=actual_rows,
+                estimated_cost_us=estimated_cost,
+                actual_self_us=actual_self,
+                actual_total_us=actual_total,
+                next_calls=next_calls,
+            )
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    visit(trace, 0)
+    return ExplainAnalyzeReport(
+        operators=measurements,
+        estimated_total_us=estimated_total_us,
+        actual_seconds=trace.elapsed_seconds,
+        result_rows=result_rows,
+        trace=trace,
+    )
+
+
+def _estimated_cost(node: Operator, coster) -> float:
+    """Node cost — or, for a ``T^M``, the cost of its whole DBMS region."""
+    if isinstance(node, TransferM):
+        total = coster.node_cost(node)
+
+        def add_region(inner: Operator) -> None:
+            nonlocal total
+            for child in inner.inputs:
+                if isinstance(child, TransferD):
+                    continue  # a separate TRANSFER^D step owns that subtree
+                total += coster.node_cost(child)
+                add_region(child)
+
+        add_region(node)
+        return total
+    return coster.node_cost(node)

@@ -1,0 +1,126 @@
+"""Middleware metrics: named counters and histograms.
+
+One :class:`MetricsRegistry` per :class:`~repro.core.tango.Tango` instance
+accumulates process-lifetime operational numbers — queries served, memo
+complexity, transfer volume, cache hits, DBMS round trips.  Instruments are
+created on first use, so producers and consumers need no shared setup:
+
+    metrics.counter("queries_total").inc()
+    metrics.histogram("query_seconds").observe(elapsed)
+
+Everything exports as plain dicts (:meth:`MetricsRegistry.to_dict`), the
+same structured-output discipline as :mod:`repro.obs.tracing`.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max/mean."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}: n={self.count} mean={self.mean:.6g})"
+
+
+class MetricsRegistry:
+    """Get-or-create home for all counters and histograms."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def value(self, name: str) -> int | float:
+        """Current value of a counter (0 if it never fired)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def flush(self) -> dict:
+        """A final snapshot (alias of :meth:`to_dict`; spelled for close())."""
+        return self.to_dict()
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def render(self) -> str:
+        """Aligned text dump, counters then histograms."""
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"  {name:<32} {counter.value}")
+        for name, histogram in sorted(self._histograms.items()):
+            lines.append(
+                f"  {name:<32} n={histogram.count}  mean={histogram.mean:.6g}"
+                f"  min={histogram.minimum}  max={histogram.maximum}"
+            )
+        return "\n".join(lines) if lines else "  (no metrics recorded)"

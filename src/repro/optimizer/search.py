@@ -37,6 +37,7 @@ from repro.algebra.operators import (
 )
 from repro.algebra.properties import guaranteed_order, is_prefix_of
 from repro.errors import OptimizerError
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.optimizer.costs import CostFactors, PlanCoster
 from repro.optimizer.memo import Element, Memo
 from repro.optimizer.rules import Rule, default_rules
@@ -84,12 +85,14 @@ class Optimizer:
         rules: list[Rule] | None = None,
         max_passes: int = 12,
         max_elements: int = 40_000,
+        tracer: Tracer | None = None,
     ):
         self.estimator = estimator
         self.coster = PlanCoster(estimator, factors)
         self.rules = rules if rules is not None else default_rules()
         self.max_passes = max_passes
         self.max_elements = max_elements
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- public API --------------------------------------------------------------------
 
@@ -106,17 +109,33 @@ class Optimizer:
         """
         if required_order is None:
             required_order = tuple(guaranteed_order(initial_plan))
-        memo = Memo()
-        root = memo.insert_tree(initial_plan)
-        passes = self._explore(memo)
-        root = memo.find(root)
-        choice = self._best(memo, root, initial_plan.location, required_order, {})
-        if choice is None and required_order:
-            # The initial plan itself guarantees the order, so this is
-            # unreachable unless statistics are degenerate; fall back.
-            choice = self._best(memo, root, initial_plan.location, (), {})
-        if choice is None:
-            raise OptimizerError("no valid plan found in the memo")
+        with self.tracer.span("optimize", kind="phase") as span:
+            memo = Memo()
+            root = memo.insert_tree(initial_plan)
+            with self.tracer.span("explore", kind="phase") as explore_span:
+                passes = self._explore(memo)
+                explore_span.set(
+                    passes=passes,
+                    classes=memo.class_count,
+                    elements=memo.element_count,
+                )
+            with self.tracer.span("extract", kind="phase"):
+                root = memo.find(root)
+                choice = self._best(
+                    memo, root, initial_plan.location, required_order, {}
+                )
+                if choice is None and required_order:
+                    # The initial plan itself guarantees the order, so this is
+                    # unreachable unless statistics are degenerate; fall back.
+                    choice = self._best(memo, root, initial_plan.location, (), {})
+            if choice is None:
+                raise OptimizerError("no valid plan found in the memo")
+            span.set(
+                cost=choice.cost,
+                classes=memo.class_count,
+                elements=memo.element_count,
+                passes=passes,
+            )
         return OptimizationResult(
             plan=choice.plan,
             cost=choice.cost,

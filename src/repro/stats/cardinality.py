@@ -52,11 +52,14 @@ class CardinalityEstimator:
         collector: StatisticsCollector,
         predicate_estimator: PredicateEstimator | None = None,
         taggr_max_fraction: float = 0.6,
+        metrics=None,
     ):
         self._collector = collector
         self._predicates = predicate_estimator or PredicateEstimator()
         self._taggr_max_fraction = taggr_max_fraction
         self._cache: dict[tuple, RelationStats] = {}
+        #: Optional repro.obs.metrics.MetricsRegistry counting cache traffic.
+        self._metrics = metrics
 
     # -- public API -----------------------------------------------------------------
 
@@ -65,7 +68,11 @@ class CardinalityEstimator:
         key = plan.cache_key
         cached = self._cache.get(key)
         if cached is not None:
+            if self._metrics is not None:
+                self._metrics.counter("estimator_cache_hits").inc()
             return cached
+        if self._metrics is not None:
+            self._metrics.counter("estimator_cache_misses").inc()
         stats = self._dispatch(plan)
         self._cache[key] = stats
         return stats

@@ -1,10 +1,13 @@
 """Unit tests for the Tango facade."""
 
+import warnings
+
 import pytest
 
-from repro.core.tango import QueryResult, Tango
+import repro.core.tango as tango_module
+from repro.core.tango import QueryResult, Tango, TangoConfig
 from repro.dbms.database import MiniDB
-from repro.errors import PlanError
+from repro.errors import DatabaseError, PlanError
 
 
 @pytest.fixture
@@ -114,3 +117,107 @@ class TestStatisticsLifecycle:
         # per-tuple share in-process; the combined cost is always positive.
         assert factors.p_tmr + factors.p_tm > 0
         assert tango.factors is factors
+
+
+class TestTangoConfig:
+    def test_defaults(self):
+        config = TangoConfig()
+        assert config.use_histograms is True
+        assert config.prefetch == 50
+        assert config.adaptive is False
+        assert config.tracing is False
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TangoConfig().adaptive = True
+
+    def test_config_and_legacy_kwargs_equivalent(self, figure3_db):
+        via_config = Tango(
+            figure3_db,
+            config=TangoConfig(use_histograms=False, prefetch=7, adaptive=True),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_kwargs = Tango(
+                figure3_db, use_histograms=False, prefetch=7, adaptive=True
+            )
+        assert via_config.config == via_kwargs.config
+        assert via_kwargs.connection.prefetch == 7
+        assert via_kwargs.adaptive is True
+        assert not via_kwargs.predicate_estimator.use_histograms
+
+    def test_legacy_kwargs_warn_once(self, figure3_db, monkeypatch):
+        monkeypatch.setattr(tango_module, "_legacy_kwargs_warned", False)
+        with pytest.warns(DeprecationWarning, match="TangoConfig"):
+            Tango(figure3_db, adaptive=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Tango(figure3_db, adaptive=True)  # second use is silent
+
+    def test_legacy_positional_bool_is_use_histograms(self, figure3_db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            tango = Tango(figure3_db, False)
+        assert tango.config.use_histograms is False
+
+    def test_legacy_kwargs_override_config(self, figure3_db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            tango = Tango(
+                figure3_db, config=TangoConfig(prefetch=9), adaptive=True
+            )
+        assert tango.config.prefetch == 9
+        assert tango.config.adaptive is True
+
+
+class TestLifecycle:
+    def test_context_manager_closes_connection(self, figure3_db):
+        with Tango(figure3_db) as tango:
+            tango.query("VALIDTIME SELECT PosID FROM POSITION")
+            assert not tango.closed
+        assert tango.closed
+        assert tango.connection.closed
+        with pytest.raises(DatabaseError):
+            tango.connection.cursor()
+        with pytest.raises(DatabaseError):
+            tango.query("SELECT PosID FROM POSITION")  # passthrough too
+
+    def test_close_is_idempotent_and_flushes_metrics(self, figure3_db):
+        tango = Tango(figure3_db)
+        tango.query("VALIDTIME SELECT PosID FROM POSITION")
+        tango.close()
+        tango.close()
+        assert tango.final_metrics["counters"]["queries_total"] == 1
+
+
+class TestTimingFields:
+    def test_elapsed_covers_execution(self, tango):
+        result = tango.query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID"
+        )
+        assert result.execution_seconds is not None
+        assert result.execution_seconds > 0.0
+        # Total query time includes parse/optimize/translate on top of the
+        # engine share (this was conflated before the observability layer).
+        assert result.elapsed_seconds >= result.execution_seconds
+
+    def test_passthrough_sets_both(self, tango):
+        result = tango.query("SELECT COUNT(*) FROM POSITION")
+        assert result.execution_seconds == result.elapsed_seconds
+
+
+class TestQueryResultToDict:
+    def test_round_trip_shape(self, figure3_db):
+        tango = Tango(figure3_db, config=TangoConfig(tracing=True))
+        result = tango.query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID"
+        )
+        exported = result.to_dict()
+        assert exported["columns"] == list(result.schema.names)
+        assert exported["rows"] == [list(row) for row in result.rows]
+        assert exported["trace"]["name"] == "query"
+        assert exported["execution_seconds"] <= exported["elapsed_seconds"]
+
+    def test_trace_none_without_tracing(self, tango):
+        result = tango.query("VALIDTIME SELECT PosID FROM POSITION")
+        assert result.to_dict()["trace"] is None
