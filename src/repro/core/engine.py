@@ -4,6 +4,14 @@
 plan, call ``init()`` on each in sequence, then drain the last one —
 pipelined execution where earlier ``TRANSFER^D`` steps have materialized
 their temp tables by the time later ``TRANSFER^M`` SQL references them.
+The drain is *batched*: the output cursor is pulled through
+``next_batch(batch_size)`` so the engine pays one dispatch per batch, not
+per row (row-at-a-time degenerates out of ``batch_size=1``).
+
+Cleanup is unconditional: whatever a step raises — during ``init``, the
+drain, or ``close`` — every step is closed and every ``TRANSFER^D`` temp
+table is dropped before the error propagates, so a mid-query failure never
+leaves ``TANGO_TMP*`` tables behind in the DBMS.
 
 Every execution is materialized as a span tree (:mod:`repro.obs`): one
 child span per plan step, nested spans per cursor carrying cardinalities,
@@ -12,12 +20,14 @@ feedback loop consumes.  That costs nothing per row — the cursors track
 those numbers anyway.  With ``instrument=True`` the plan's cursors are
 additionally wrapped in
 :class:`~repro.obs.instrument.InstrumentedCursor` so the spans also record
-per-cursor ``next()`` counts and wall time; that is the EXPLAIN ANALYZE
-path, and (as in any database) the per-call timing is not free.
+per-cursor ``next()``/``next_batch()`` counts and wall time; that is the
+EXPLAIN ANALYZE path, and (as in any database) the per-call timing is not
+free.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 
@@ -25,7 +35,9 @@ from repro.algebra.schema import Schema
 from repro.core.feedback import TransferObservation, observations_from_trace
 from repro.core.plans import ExecutionPlan
 from repro.obs.instrument import execution_trace, instrument_plan
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
+from repro.xxl.cursor import DEFAULT_BATCH_SIZE
 
 
 @dataclass
@@ -42,6 +54,8 @@ class ExecutionOutcome:
     #: The execution's span tree (always present; per-cursor wall time and
     #: next() counts appear when the engine ran with ``instrument=True``).
     trace: Span | None = None
+    #: Output batches the engine drained (rows/batches ≈ mean batch fill).
+    batches: int = 0
 
     def __iter__(self):
         return iter(self.rows)
@@ -61,26 +75,49 @@ class ExecutionEngine:
         plan: ExecutionPlan,
         tracer: Tracer | None = None,
         instrument: bool = False,
+        batch_size: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> ExecutionOutcome:
-        """Figure 2's ExecuteQuery: init every result set, drain the last."""
+        """Figure 2's ExecuteQuery: init every result set, drain the last.
+
+        *batch_size* is the rows-per-``next_batch`` of the drain loop; when
+        omitted, the output cursor's own (plan-compiled) batch size is
+        used.  *metrics*, when given, receives the ``batches_produced``
+        counter and the ``rows_per_batch`` histogram.
+        """
         tracer = tracer if tracer is not None else NULL_TRACER
         if instrument:
             instrument_plan(plan)
         begin = time.perf_counter()
+        rows: list[tuple] = []
+        batches = 0
         try:
             for step in plan.steps:
                 step.init()
             output = plan.output
-            rows = [output.next() for _ in iter(output.has_next, False)]
+            size = max(
+                1,
+                batch_size
+                if batch_size is not None
+                else getattr(output, "batch_size", DEFAULT_BATCH_SIZE),
+            )
+            fill = metrics.histogram("rows_per_batch") if metrics is not None else None
+            while True:
+                batch = output.next_batch(size)
+                if not batch:
+                    break
+                batches += 1
+                if fill is not None:
+                    fill.observe(len(batch))
+                rows.extend(batch)
             schema = output.schema
         finally:
-            for step in plan.steps:
-                step.close()
-            if self.cleanup_temp_tables:
-                plan.cleanup()
+            self._teardown(plan)
         elapsed = time.perf_counter() - begin
+        if metrics is not None:
+            metrics.counter("batches_produced").inc(batches)
         trace = execution_trace(plan, elapsed)
-        trace.set(rows=len(rows))
+        trace.set(rows=len(rows), batches=batches)
         tracer.attach(trace)
         return ExecutionOutcome(
             schema=schema,
@@ -89,4 +126,27 @@ class ExecutionEngine:
             steps=len(plan.steps),
             observations=observations_from_trace(trace),
             trace=trace,
+            batches=batches,
         )
+
+    def _teardown(self, plan: ExecutionPlan) -> None:
+        """Close every step and drop every temp table, letting no failure
+        in one step's cleanup skip another's; the first cleanup error
+        surfaces only after everything was attempted (and never shadows an
+        execution error already propagating)."""
+        first_error: BaseException | None = None
+        for step in plan.steps:
+            try:
+                step.close()
+            except BaseException as error:  # noqa: BLE001 - must keep going
+                if first_error is None:
+                    first_error = error
+        if self.cleanup_temp_tables:
+            for transfer in plan.transfers_down:
+                try:
+                    transfer.drop()
+                except BaseException as error:  # noqa: BLE001
+                    if first_error is None:
+                        first_error = error
+        if first_error is not None and sys.exc_info()[0] is None:
+            raise first_error

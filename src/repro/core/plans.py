@@ -48,7 +48,7 @@ from repro.xxl import (
     TemporalJoinCursor,
     TransferDCursor,
 )
-from repro.xxl.transfer import unique_temp_name
+from repro.xxl.transfer import DEFAULT_LOAD_CHUNK, unique_temp_name
 
 
 @dataclass
@@ -115,6 +115,7 @@ def compile_plan(
     meter: CostMeter | None = None,
     translator: SQLTranslator | None = None,
     registry: dict[int, Operator] | None = None,
+    batch_size: int | None = None,
 ) -> ExecutionPlan:
     """Compile an optimized operator tree into an :class:`ExecutionPlan`.
 
@@ -123,13 +124,18 @@ def compile_plan(
     cursor is recorded there as ``id(cursor) -> plan node`` (a ``T^M``'s
     SQL cursor maps to the ``TransferM`` node covering its DBMS region) —
     the join key EXPLAIN ANALYZE uses to lay actuals against estimates.
+    *batch_size* (``TangoConfig.batch_size``) is stamped onto every created
+    cursor so the whole pipeline — including ``TRANSFER^D`` load chunking —
+    moves rows in batches of that size.
     """
     if plan.location is not Location.MIDDLEWARE:
         raise PlanError(
             "execution plans must deliver their result to the middleware; "
             "wrap the tree in a T^M"
         )
-    compiler = _Compiler(connection, meter, translator or SQLTranslator(), registry)
+    compiler = _Compiler(
+        connection, meter, translator or SQLTranslator(), registry, batch_size
+    )
     root = compiler.build(plan)
     execution_plan = ExecutionPlan(
         steps=compiler.steps + [root],
@@ -145,11 +151,13 @@ class _Compiler:
         meter: CostMeter | None,
         translator: SQLTranslator,
         registry: dict[int, Operator] | None = None,
+        batch_size: int | None = None,
     ):
         self._connection = connection
         self._meter = meter
         self._translator = translator
         self._registry = registry
+        self._batch_size = max(1, batch_size) if batch_size is not None else None
         #: Steps that must be initialized before the output cursor, in order.
         self.steps: list[Cursor] = []
         self.transfers_down: list[TransferDCursor] = []
@@ -157,6 +165,8 @@ class _Compiler:
         self._temp_names: dict[int, str] = {}
 
     def _register(self, cursor: Cursor, node: Operator) -> Cursor:
+        if self._batch_size is not None:
+            cursor.batch_size = self._batch_size
         if self._registry is not None:
             self._registry[id(cursor)] = node
         return cursor
@@ -236,6 +246,9 @@ class _Compiler:
                     self._connection,
                     table_name,
                     order=tuple(guaranteed_order(node.input)),
+                    chunk_size=self._batch_size
+                    if self._batch_size is not None
+                    else DEFAULT_LOAD_CHUNK,
                 )
                 self._register(transfer, node)
                 self.steps.append(transfer)

@@ -44,6 +44,7 @@ from repro.algebra.schema import Schema
 from repro.core.engine import ExecutionEngine
 from repro.core.feedback import FeedbackAdapter
 from repro.core.parser import is_temporal_query, parse_temporal_query
+from repro.core.plan_cache import PlanCache, fingerprint
 from repro.core.plans import compile_plan
 from repro.core.translator import SQLTranslator
 from repro.dbms.database import MiniDB
@@ -81,6 +82,13 @@ class TangoConfig:
     #: translate → execute, with per-cursor cardinalities and transfer
     #: timings; per-``next()`` wall times are the EXPLAIN ANALYZE path).
     tracing: bool = False
+    #: Rows per ``next_batch`` through the whole execution pipeline
+    #: (TRANSFER^M fetchmany size, TRANSFER^D executemany chunk, engine
+    #: drain).  1 degenerates to the paper's row-at-a-time protocol.
+    batch_size: int = 256
+    #: Plans kept in the statistics-epoch plan cache (LRU); 0 disables
+    #: caching.
+    plan_cache_size: int = 64
 
 
 #: The old Tango(...) keyword arguments now living in TangoConfig.
@@ -194,6 +202,9 @@ class Tango:
         self.translator = SQLTranslator()
         self.engine = ExecutionEngine()
         self.feedback = FeedbackAdapter()
+        #: Optimized plans keyed by (query fingerprint, statistics epoch,
+        #: config); cleared whenever the cost factors move.
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
         self._optimizer: Optimizer | None = None
         self._closed = False
 
@@ -234,6 +245,8 @@ class Tango:
             self.factors
         )
         self._optimizer = None
+        # New factors re-price every plan: cached choices may be stale.
+        self.plan_cache.clear()
         return self.factors
 
     # -- lifecycle --------------------------------------------------------------------
@@ -271,16 +284,31 @@ class Tango:
         return parse_temporal_query(sql, self.db)
 
     def optimize(self, query: str | Operator) -> OptimizationResult:
-        """Run the two-phase optimizer on a query or an initial plan."""
+        """Run the two-phase optimizer on a query or an initial plan.
+
+        Repeated queries are answered from the plan cache: the key couples
+        the normalized query fingerprint to the current statistics epoch
+        and this instance's configuration, so a cache hit skips parsing and
+        the optimizer entirely while a statistics refresh (or a config
+        difference) forces a fresh optimization.
+        """
+        key = (fingerprint(query), self.collector.epoch, self.config)
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            self.metrics.counter("plan_cache_hits").inc()
+            return cached
+        self.metrics.counter("plan_cache_misses").inc()
         if isinstance(query, str):
             with self.tracer.span("parse", kind="phase"):
                 plan = self.parse(query)
         else:
             plan = query
+        self.metrics.counter("optimizer_runs").inc()
         result = self.optimizer.optimize(plan)
         validate_plan(result.plan)
         self.metrics.histogram("memo_classes").observe(result.class_count)
         self.metrics.histogram("memo_elements").observe(result.element_count)
+        self.plan_cache.put(key, result)
         return result
 
     def execute_plan(self, plan: Operator) -> QueryResult:
@@ -289,10 +317,16 @@ class Tango:
         validate_plan(plan)
         with self.tracer.span("translate", kind="phase") as span:
             execution_plan = compile_plan(
-                plan, self.connection, self.middleware_meter, self.translator
+                plan,
+                self.connection,
+                self.middleware_meter,
+                self.translator,
+                batch_size=self.config.batch_size,
             )
             span.set(steps=len(execution_plan.steps))
-        outcome = self.engine.execute(execution_plan, tracer=self.tracer)
+        outcome = self.engine.execute(
+            execution_plan, tracer=self.tracer, metrics=self.metrics
+        )
         self._record_execution(outcome)
         return QueryResult(
             schema=outcome.schema,
@@ -358,9 +392,10 @@ class Tango:
             self.middleware_meter,
             self.translator,
             registry=registry,
+            batch_size=self.config.batch_size,
         )
         outcome = self.engine.execute(
-            execution_plan, tracer=Tracer(), instrument=True
+            execution_plan, tracer=Tracer(), instrument=True, metrics=self.metrics
         )
         self._record_execution(outcome)
         coster = PlanCoster(self.estimator, self.factors)
@@ -385,6 +420,8 @@ class Tango:
             if updated is not self.factors:
                 self.factors = updated
                 self._optimizer = None  # next query sees the new factors
+                # Cached plans were chosen under the old factors.
+                self.plan_cache.clear()
                 self.metrics.counter("feedback_updates").inc()
 
     def _passthrough(self, sql: str) -> QueryResult:

@@ -110,12 +110,23 @@ class Cursor:
         return row
 
     def fetchmany(self, count: int) -> list[tuple]:
+        """Up to *count* rows in one call, sliced straight off the prefetch
+        buffer — the batched face of ``TRANSFER^M``."""
+        if self._result is None:
+            raise DatabaseError("no open result set")
         rows: list[tuple] = []
-        for _ in range(count):
-            row = self.fetchone()
-            if row is None:
-                break
-            rows.append(row)
+        while len(rows) < count:
+            available = len(self._buffer) - self._buffer_pos
+            if available <= 0:
+                if self._exhausted:
+                    break
+                self._refill()
+                if not self._buffer:
+                    break
+                continue
+            take = min(count - len(rows), available)
+            rows.extend(self._buffer[self._buffer_pos : self._buffer_pos + take])
+            self._buffer_pos += take
         return rows
 
     def fetchall(self) -> list[tuple]:
@@ -189,6 +200,34 @@ class Connection:
         loaded = self._loader.load(table_name, schema, rows, order)
         if self.metrics is not None:
             self.metrics.counter("dbms_rows_loaded").inc(loaded)
+        return loaded
+
+    def create_temp(self, table_name: str, schema: Schema) -> None:
+        """Create an empty direct-path load target (``TRANSFER^D`` setup)."""
+        if self._closed:
+            raise DatabaseError("connection is closed")
+        self._loader.create(table_name, schema)
+
+    def executemany(
+        self,
+        table_name: str,
+        schema: Schema,
+        rows: "Sequence[tuple] | list[tuple]",
+        order: Sequence[str] = (),
+    ) -> int:
+        """Append one batch of rows — the JDBC addBatch/executeBatch
+        analogue, riding the direct-path loader.
+
+        ``TRANSFER^D`` calls this once per chunk so a load of N rows costs
+        N/chunk_size round trips instead of N.  Creates the table on first
+        use when :meth:`create_temp` was not called explicitly.
+        """
+        if self._closed:
+            raise DatabaseError("connection is closed")
+        loaded = self._loader.append(table_name, schema, rows, order)
+        if self.metrics is not None:
+            self.metrics.counter("dbms_rows_loaded").inc(loaded)
+            self.metrics.counter("dbms_load_batches").inc()
         return loaded
 
     def drop_temp(self, table_name: str) -> None:

@@ -49,6 +49,36 @@ class DirectPathLoader:
         self._db.meter.charge_cpu(loaded)
         return loaded
 
+    def create(self, table_name: str, schema: Schema, temporary: bool = True):
+        """Create an empty load target for subsequent :meth:`append` calls."""
+        if self._db.has_table(table_name):
+            raise CatalogError(
+                f"direct-path load target {table_name!r} already exists"
+            )
+        return self._db.create_table(table_name, schema, temporary=temporary)
+
+    def append(
+        self,
+        table_name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[object]],
+        order: Sequence[str] = (),
+    ) -> int:
+        """Direct-path load one chunk into *table_name*, creating it first
+        if needed.  Charges I/O only for the blocks the chunk newly fills,
+        so a chunked load telescopes to the same cost as one-shot
+        :meth:`load`.
+        """
+        if self._db.has_table(table_name):
+            table = self._db.table(table_name)
+        else:
+            table = self.create(table_name, schema)
+        blocks_before = table.blocks
+        loaded = table.bulk_load(rows, order)
+        self._db.meter.charge_io(max(0, table.blocks - blocks_before))
+        self._db.meter.charge_cpu(loaded)
+        return loaded
+
     def unload(self, table_name: str) -> None:
         """Drop a previously loaded temporary table (end-of-query cleanup)."""
         self._db.drop_table(table_name, if_exists=True)

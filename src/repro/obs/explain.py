@@ -39,6 +39,8 @@ class OperatorMeasurement:
     #: Wall time inside this cursor including children (None untraced).
     actual_total_us: float | None
     next_calls: int | None = None
+    #: Batches this cursor handed out (actual_rows / batches ≈ mean fill).
+    batches: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -51,6 +53,7 @@ class OperatorMeasurement:
             "actual_self_us": self.actual_self_us,
             "actual_total_us": self.actual_total_us,
             "next_calls": self.next_calls,
+            "batches": self.batches,
         }
 
 
@@ -82,7 +85,7 @@ class ExplainAnalyzeReport:
     def __str__(self) -> str:
         header = (
             f"{'operator':<44} {'est rows':>10} {'act rows':>10} "
-            f"{'est us':>12} {'act us':>12}"
+            f"{'batches':>8} {'est us':>12} {'act us':>12}"
         )
         lines = [header, "-" * len(header)]
         for m in self.operators:
@@ -96,9 +99,10 @@ class ExplainAnalyzeReport:
                 f"{m.estimated_cost_us:.1f}" if m.estimated_cost_us is not None else "-"
             )
             actual = f"{m.actual_self_us:.1f}" if m.actual_self_us is not None else "-"
+            batches = str(m.batches) if m.batches is not None else "-"
             lines.append(
                 f"{label:<44} {est_rows:>10} {m.actual_rows:>10} "
-                f"{est_cost:>12} {actual:>12}"
+                f"{batches:>8} {est_cost:>12} {actual:>12}"
             )
         lines.append(
             f"estimated total: {self.estimated_total_us:.1f}us   "
@@ -160,6 +164,7 @@ def build_report(
                 actual_self_us=actual_self,
                 actual_total_us=actual_total,
                 next_calls=next_calls,
+                batches=span.attributes.get("batches"),
             )
         )
         for child in span.children:

@@ -61,17 +61,19 @@ def unwrap(cursor):
 class InstrumentedCursor:
     """A transparent cursor proxy that measures the cursor it wraps.
 
-    Implements the full cursor protocol by delegation; records the number
-    of ``next()`` calls and the wall-clock seconds spent inside ``init``,
-    ``has_next``, and ``next`` (which includes time spent in wrapped
+    Implements the full cursor protocol — batched face included — by
+    delegation; records the number of ``next()`` and ``next_batch()``
+    calls and the wall-clock seconds spent inside ``init``, ``has_next``,
+    ``next``, and ``next_batch`` (which includes time spent in wrapped
     children — span rendering subtracts child time to get self time).
     """
 
-    __slots__ = ("wrapped", "next_calls", "wall_seconds", "init_seconds")
+    __slots__ = ("wrapped", "next_calls", "batch_calls", "wall_seconds", "init_seconds")
 
     def __init__(self, wrapped: Cursor):
         self.wrapped = wrapped
         self.next_calls = 0
+        self.batch_calls = 0
         self.wall_seconds = 0.0
         self.init_seconds = 0.0
 
@@ -97,6 +99,25 @@ class InstrumentedCursor:
         row = self.wrapped.next()
         self.wall_seconds += time.perf_counter() - begin
         return row
+
+    def next_batch(self, n: int) -> list[tuple]:
+        # One timing pair per batch: instrumentation overhead stays
+        # per-batch, not per-row.
+        self.batch_calls += 1
+        begin = time.perf_counter()
+        batch = self.wrapped.next_batch(n)
+        self.wall_seconds += time.perf_counter() - begin
+        return batch
+
+    def iter_batched(self, size: int | None = None):
+        # Defined explicitly (not via __getattr__) so the pulls are timed.
+        if size is None:
+            size = getattr(self.wrapped, "batch_size", None)
+        while True:
+            batch = self.next_batch(size or 1)
+            if not batch:
+                return
+            yield from batch
 
     def close(self) -> None:
         self.wrapped.close()
@@ -177,10 +198,19 @@ def cursor_span(cursor, seen: set[int] | None = None) -> Span | None:
     seen.add(id(raw))
 
     span = Span(algorithm_name(raw), kind="cursor")
-    span.set(cursor=type(raw).__name__, cursor_id=id(raw), rows=raw.rows_produced)
+    span.set(
+        cursor=type(raw).__name__,
+        cursor_id=id(raw),
+        rows=raw.rows_produced,
+        batches=getattr(raw, "batches_produced", 0),
+    )
     if wrapper is not None:
         span.seconds = wrapper.wall_seconds
-        span.set(next_calls=wrapper.next_calls, init_seconds=wrapper.init_seconds)
+        span.set(
+            next_calls=wrapper.next_calls,
+            batch_calls=wrapper.batch_calls,
+            init_seconds=wrapper.init_seconds,
+        )
 
     if isinstance(raw, SQLCursor):
         span.kind = "transfer"

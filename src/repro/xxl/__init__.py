@@ -19,7 +19,7 @@ All middleware algorithms are order preserving (Section 4) — a fact the
 optimizer's list-equivalence rules rely on.
 """
 
-from repro.xxl.cursor import Cursor, materialize
+from repro.xxl.cursor import BatchReader, Cursor, DEFAULT_BATCH_SIZE, materialize
 from repro.xxl.sources import RelationCursor, SQLCursor
 from repro.xxl.filter import FilterCursor
 from repro.xxl.project import ProjectCursor
@@ -33,7 +33,9 @@ from repro.xxl.coalesce import CoalesceCursor
 from repro.xxl.difference import DifferenceCursor
 
 __all__ = [
+    "BatchReader",
     "Cursor",
+    "DEFAULT_BATCH_SIZE",
     "materialize",
     "RelationCursor",
     "SQLCursor",

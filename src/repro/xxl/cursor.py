@@ -5,17 +5,29 @@ Figure 2 of the paper: every algorithm is wrapped in a result set exposing
 but may do real work (``TRANSFER^D`` drains its whole input there).  We add
 the customary ``has_next()`` and make cursors Python iterables, so
 ``for row in cursor`` works after :meth:`Cursor.init`.
+
+On top of the paper's row-at-a-time protocol, every cursor also speaks a
+*batched* protocol: :meth:`Cursor.next_batch` returns up to *n* rows per
+call, so a pipeline pays one method-dispatch round trip per batch rather
+than per row.  Row-at-a-time semantics are fully preserved — ``has_next``,
+``next``, ``next_batch``, and iteration may be mixed freely on the same
+cursor because all of them drain the shared look-ahead buffer first.
+Subclasses get batching for free through the default :meth:`Cursor.
+_next_batch` (a loop over :meth:`Cursor._next`); the hot algorithms
+override it with native batch implementations.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from itertools import islice
 from typing import Iterator
 
 from repro.algebra.schema import Schema
 from repro.errors import ExecutionError
 
-#: Sentinel marking "no row buffered".
-_EMPTY = object()
+#: Default rows per batch (TangoConfig.batch_size overrides per query).
+DEFAULT_BATCH_SIZE = 256
 
 
 class Cursor:
@@ -23,16 +35,28 @@ class Cursor:
 
     Subclasses implement :meth:`_open` (called once from :meth:`init`) and
     :meth:`_next` (return the next row or raise :class:`StopIteration`).
-    Most algorithms implement ``_open`` by building a generator.
+    Most algorithms implement ``_open`` by building a generator.  Native
+    batching overrides :meth:`_next_batch` instead.
     """
+
+    #: Rows pulled per internal batch; plan compilation overrides this
+    #: per instance from ``TangoConfig.batch_size``.
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def __init__(self, schema: Schema):
         self.schema = schema
         self._initialized = False
         self._closed = False
-        self._buffered: object = _EMPTY
+        #: Rows produced but not yet handed out: ``has_next`` buffers one
+        #: row here; a native ``_next_batch`` that overshoots parks its
+        #: surplus here.  Every consuming method drains it first, so a
+        #: buffered row is never dropped whichever protocol the caller
+        #: mixes.
+        self._lookahead: deque[tuple] = deque()
         #: Rows handed out so far (handy for tests and accounting).
         self.rows_produced = 0
+        #: Non-empty batches handed out via :meth:`next_batch`.
+        self.batches_produced = 0
 
     # -- protocol -------------------------------------------------------------------
 
@@ -48,10 +72,10 @@ class Cursor:
     def has_next(self) -> bool:
         """True when another row is available (buffers one row ahead)."""
         self.init()
-        if self._buffered is not _EMPTY:
+        if self._lookahead:
             return True
         try:
-            self._buffered = self._next()
+            self._lookahead.append(self._next())
         except StopIteration:
             return False
         return True
@@ -60,10 +84,47 @@ class Cursor:
         """Return the next row; raises :class:`ExecutionError` when drained."""
         if not self.has_next():
             raise ExecutionError(f"{type(self).__name__} has no more rows")
-        row = self._buffered
-        self._buffered = _EMPTY
+        row = self._lookahead.popleft()
         self.rows_produced += 1
-        return row  # type: ignore[return-value]
+        return row
+
+    def next_batch(self, n: int) -> list[tuple]:
+        """Return the next up-to-*n* rows; ``[]`` exactly when drained.
+
+        The batched face of the Figure 2 protocol: one call replaces *n*
+        ``has_next``/``next`` round trips.  Rows buffered by ``has_next``
+        are served first, so mixing the two protocols never drops a row.
+        """
+        self.init()
+        if n <= 0:
+            return []
+        if self._lookahead:
+            buffered = list(islice(self._lookahead, n))
+            for _ in buffered:
+                self._lookahead.popleft()
+            if len(buffered) < n:
+                buffered.extend(self._next_batch(n - len(buffered)))
+            batch = buffered
+        else:
+            batch = self._next_batch(n)
+        if batch:
+            self.rows_produced += len(batch)
+            self.batches_produced += 1
+        return batch
+
+    def iter_batched(self, size: int | None = None) -> Iterator[tuple]:
+        """Iterate rows, pulling them through :meth:`next_batch` internally.
+
+        The drop-in replacement for ``while c.has_next(): c.next()`` inner
+        loops: per-row cost is one generator resume instead of two cursor
+        dispatches plus buffer bookkeeping.
+        """
+        size = size if size is not None else self.batch_size
+        while True:
+            batch = self.next_batch(size)
+            if not batch:
+                return
+            yield from batch
 
     def close(self) -> None:
         """Release resources; further use is an error."""
@@ -90,6 +151,23 @@ class Cursor:
         """Produce the next row or raise StopIteration."""
         raise NotImplementedError
 
+    def _next_batch(self, n: int) -> list[tuple]:
+        """Produce up to *n* rows (empty list when drained).
+
+        Default: a loop over :meth:`_next`, correct for every subclass.
+        Implementations that naturally overproduce (e.g. a filter working
+        input-batch-wise) may return at most *n* rows and park the surplus
+        in ``self._lookahead``.
+        """
+        batch: list[tuple] = []
+        append = batch.append
+        try:
+            for _ in range(n):
+                append(self._next())
+        except StopIteration:
+            pass
+        return batch
+
     def _close(self) -> None:
         """Release resources; default does nothing."""
 
@@ -98,7 +176,9 @@ class GeneratorCursor(Cursor):
     """A cursor whose rows come from a generator built in :meth:`_generate`.
 
     Most middleware algorithms subclass this: ``_generate`` expresses the
-    algorithm naturally while the base class provides the protocol.
+    algorithm naturally while the base class provides the protocol —
+    including batching, which ``islice``s the generator so a batch costs
+    one slicing call rather than *n* ``next()`` round trips.
     """
 
     def __init__(self, schema: Schema):
@@ -112,6 +192,10 @@ class GeneratorCursor(Cursor):
         assert self._generator is not None
         return next(self._generator)
 
+    def _next_batch(self, n: int) -> list[tuple]:
+        assert self._generator is not None
+        return list(islice(self._generator, n))
+
     def _close(self) -> None:
         self._generator = None
 
@@ -119,9 +203,44 @@ class GeneratorCursor(Cursor):
         raise NotImplementedError
 
 
+class BatchReader:
+    """Single-row reads over a cursor's batched protocol.
+
+    Sort-merge algorithms consume rows one at a time but compare-and-advance
+    in tight loops; this adapter gives them ``read()`` (one row or ``None``)
+    backed by ``next_batch`` pulls, replacing two cursor dispatches per row
+    with one local method call and a list index.
+    """
+
+    __slots__ = ("_cursor", "_size", "_batch", "_pos")
+
+    def __init__(self, cursor: Cursor, size: int | None = None):
+        self._cursor = cursor
+        self._size = size if size is not None else cursor.batch_size
+        self._batch: list[tuple] = []
+        self._pos = 0
+
+    def read(self) -> tuple | None:
+        """The next row, or ``None`` when the cursor is drained."""
+        if self._pos >= len(self._batch):
+            self._batch = self._cursor.next_batch(self._size)
+            self._pos = 0
+            if not self._batch:
+                return None
+        row = self._batch[self._pos]
+        self._pos += 1
+        return row
+
+
 def materialize(cursor: Cursor) -> list[tuple]:
     """Drain a cursor into a list and close it."""
     try:
-        return list(cursor.init())
+        rows: list[tuple] = []
+        cursor.init()
+        while True:
+            batch = cursor.next_batch(cursor.batch_size)
+            if not batch:
+                return rows
+            rows.extend(batch)
     finally:
         cursor.close()

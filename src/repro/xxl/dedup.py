@@ -51,6 +51,34 @@ class DedupCursor(Cursor):
                     return row
         raise StopIteration
 
+    def _next_batch(self, n: int) -> list[tuple]:
+        out: list[tuple] = []
+        meter = self._meter
+        while len(out) < n:
+            batch = self._input.next_batch(max(n, self.batch_size))
+            if not batch:
+                break
+            if meter is not None:
+                meter.charge_cpu(len(batch))
+            if self._assume_sorted:
+                previous = self._previous
+                for row in batch:
+                    if row != previous:
+                        previous = row
+                        out.append(row)
+                self._previous = previous
+            else:
+                seen = self._seen
+                assert seen is not None
+                for row in batch:
+                    if row not in seen:
+                        seen.add(row)
+                        out.append(row)
+        if len(out) > n:
+            self._lookahead.extend(out[n:])
+            del out[n:]
+        return out
+
     def _close(self) -> None:
         self._input.close()
         self._seen = None

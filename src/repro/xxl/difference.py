@@ -30,7 +30,7 @@ class DifferenceCursor(Cursor):
             raise ExecutionError("difference arguments must be union-compatible")
         self.schema = self._left.schema
         self._suppress = Counter()
-        for row in self._right:
+        for row in self._right.iter_batched(self.batch_size):
             self._suppress[row] += 1
             if self._meter is not None:
                 self._meter.charge_cpu(1)

@@ -49,5 +49,27 @@ class FilterCursor(Cursor):
                 return row
         raise StopIteration
 
+    def _next_batch(self, n: int) -> list[tuple]:
+        # Work input-batch-wise: one pull + one list comprehension per
+        # input batch.  A low-selectivity predicate may need several input
+        # batches to fill n rows; a high-selectivity one may overshoot, and
+        # the surplus is parked in the shared look-ahead buffer.
+        predicate = self._predicate
+        assert predicate is not None
+        meter = self._meter
+        out: list[tuple] = []
+        size = max(n, self.batch_size)
+        while len(out) < n:
+            batch = self._input.next_batch(size)
+            if not batch:
+                break
+            if meter is not None:
+                meter.charge_cpu(len(batch))
+            out.extend(row for row in batch if predicate(row))
+        if len(out) > n:
+            self._lookahead.extend(out[n:])
+            del out[n:]
+        return out
+
     def _close(self) -> None:
         self._input.close()

@@ -13,22 +13,31 @@ from typing import Iterator
 
 from repro.algebra.expressions import Expression
 from repro.dbms.costmodel import CostMeter
-from repro.xxl.cursor import Cursor, GeneratorCursor
+from repro.xxl.cursor import BatchReader, Cursor, GeneratorCursor
 
 
-def read_group(cursor: Cursor, position: int, first_row: tuple) -> tuple[list[tuple], tuple | None]:
+def read_group(source, position: int, first_row: tuple) -> tuple[list[tuple], tuple | None]:
     """Collect the run of rows sharing ``first_row[position]``.
 
-    Returns the group and the first row of the *next* group (or ``None``).
+    *source* is a :class:`~repro.xxl.cursor.BatchReader` (the joins' fast
+    path) or a plain :class:`~repro.xxl.cursor.Cursor`.  Returns the group
+    and the first row of the *next* group (or ``None``).
     """
+    if isinstance(source, BatchReader):
+        read = source.read
+    else:
+        # Plain cursor: stay row-at-a-time so no rows are left stranded in
+        # a throwaway reader's batch buffer.
+        def read() -> tuple | None:
+            return source.next() if source.has_next() else None
+
     value = first_row[position]
     group = [first_row]
-    while cursor.has_next():
-        row = cursor.next()
-        if row[position] != value:
+    while True:
+        row = read()
+        if row is None or row[position] != value:
             return group, row
         group.append(row)
-    return group, None
 
 
 class MergeJoinCursor(GeneratorCursor):
@@ -67,20 +76,22 @@ class MergeJoinCursor(GeneratorCursor):
         )
         meter = self._meter
 
-        left_row = self._left.next() if self._left.has_next() else None
-        right_row = self._right.next() if self._right.has_next() else None
+        left_reader = BatchReader(self._left, self.batch_size)
+        right_reader = BatchReader(self._right, self.batch_size)
+        left_row = left_reader.read()
+        right_row = right_reader.read()
         while left_row is not None and right_row is not None:
             if meter is not None:
                 meter.charge_cpu(1)
             left_value = left_row[left_pos]
             right_value = right_row[right_pos]
             if left_value < right_value:
-                left_row = self._left.next() if self._left.has_next() else None
+                left_row = left_reader.read()
             elif left_value > right_value:
-                right_row = self._right.next() if self._right.has_next() else None
+                right_row = right_reader.read()
             else:
-                left_group, left_row = read_group(self._left, left_pos, left_row)
-                right_group, right_row = read_group(self._right, right_pos, right_row)
+                left_group, left_row = read_group(left_reader, left_pos, left_row)
+                right_group, right_row = read_group(right_reader, right_pos, right_row)
                 for l_row in left_group:
                     for r_row in right_group:
                         if meter is not None:

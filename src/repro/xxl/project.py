@@ -49,5 +49,13 @@ class ProjectCursor(Cursor):
             self._meter.charge_cpu(1)
         return tuple(func(row) for func in self._funcs)
 
+    def _next_batch(self, n: int) -> list[tuple]:
+        funcs = self._funcs
+        assert funcs is not None
+        batch = self._input.next_batch(n)
+        if self._meter is not None and batch:
+            self._meter.charge_cpu(len(batch))
+        return [tuple(func(row) for func in funcs) for row in batch]
+
     def _close(self) -> None:
         self._input.close()

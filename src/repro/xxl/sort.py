@@ -49,9 +49,14 @@ class SortCursor(GeneratorCursor):
         runs: list[list[tuple]] = []
         current: list[tuple] = []
         count = 0
-        while self._input.has_next():
-            current.append(self._input.next())
-            count += 1
+        while True:
+            batch = self._input.next_batch(
+                min(self.batch_size, self._run_size - len(current))
+            )
+            if not batch:
+                break
+            current.extend(batch)
+            count += len(batch)
             if len(current) >= self._run_size:
                 current.sort(key=key)
                 runs.append(current)

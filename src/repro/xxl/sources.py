@@ -2,11 +2,14 @@
 
 :class:`SQLCursor` is the ``TRANSFER^M`` algorithm's core: it issues a
 ``SELECT`` over the JDBC connection on ``init()`` and streams the result
-rows into the middleware (Section 3.2).
+rows into the middleware (Section 3.2).  Its batched face maps directly to
+JDBC: ``next_batch(n)`` is one ``fetchmany(n)``, so middleware batching and
+the connection's row prefetch compose instead of fighting.
 """
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Iterator, Sequence
 
 from repro.algebra.schema import Schema
@@ -35,13 +38,20 @@ class RelationCursor(Cursor):
             self._meter.charge_cpu(1)
         return row
 
+    def _next_batch(self, n: int) -> list[tuple]:
+        batch = list(self._rows[self._position : self._position + n])
+        self._position += len(batch)
+        if self._meter is not None and batch:
+            self._meter.charge_cpu(len(batch))
+        return batch
+
 
 class SQLCursor(Cursor):
     """Streams the rows of an SQL query from the DBMS — ``TRANSFER^M``.
 
     The query is sent on ``init()``; rows arrive through the JDBC cursor's
-    prefetch batching.  The output schema is taken from the DBMS result-set
-    metadata.
+    prefetch batching — one ``fetchmany`` per middleware batch.  The output
+    schema is taken from the DBMS result-set metadata.
     """
 
     def __init__(self, connection, sql: str, prefetch: int | None = None):
@@ -79,6 +89,15 @@ class SQLCursor(Cursor):
             raise StopIteration
         return row
 
+    def _next_batch(self, n: int) -> list[tuple]:
+        import time
+
+        assert self._cursor is not None
+        begin = time.perf_counter()
+        batch = self._cursor.fetchmany(n)
+        self.fetch_seconds += time.perf_counter() - begin
+        return batch
+
     def _close(self) -> None:
         if self._cursor is not None:
             self._cursor.close()
@@ -99,3 +118,7 @@ class IterableCursor(Cursor):
     def _next(self) -> tuple:
         assert self._iterator is not None
         return next(self._iterator)
+
+    def _next_batch(self, n: int) -> list[tuple]:
+        assert self._iterator is not None
+        return list(islice(self._iterator, n))

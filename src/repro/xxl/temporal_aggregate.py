@@ -73,28 +73,37 @@ class TemporalAggregateCursor(GeneratorCursor):
             for spec in self.aggregates
         ]
 
+        single_group = group_positions[0] if len(group_positions) == 1 else None
+
         current_key: tuple | None = None
         group_rows: list[tuple] = []
-        while self._input.has_next():
-            row = self._input.next()
-            key = tuple(row[p] for p in group_positions)
-            if current_key is None:
-                current_key = key
-            if key != current_key:
-                try:
-                    out_of_order = key < current_key  # type: ignore[operator]
-                except TypeError:
-                    out_of_order = False
-                if out_of_order:
-                    raise ExecutionError(
-                        "TAGGR^M input is not sorted on the grouping attributes"
+        batch_size = self.batch_size
+        while True:
+            batch = self._input.next_batch(batch_size)
+            if not batch:
+                break
+            for row in batch:
+                if single_group is not None:
+                    key = (row[single_group],)
+                else:
+                    key = tuple(row[p] for p in group_positions)
+                if current_key is None:
+                    current_key = key
+                if key != current_key:
+                    try:
+                        out_of_order = key < current_key  # type: ignore[operator]
+                    except TypeError:
+                        out_of_order = False
+                    if out_of_order:
+                        raise ExecutionError(
+                            "TAGGR^M input is not sorted on the grouping attributes"
+                        )
+                    yield from self._sweep_group(
+                        current_key, group_rows, t1_pos, t2_pos, argument_positions
                     )
-                yield from self._sweep_group(
-                    current_key, group_rows, t1_pos, t2_pos, argument_positions
-                )
-                current_key = key
-                group_rows = []
-            group_rows.append(row)
+                    current_key = key
+                    group_rows = []
+                group_rows.append(row)
         if current_key is not None:
             yield from self._sweep_group(
                 current_key, group_rows, t1_pos, t2_pos, argument_positions
@@ -111,7 +120,9 @@ class TemporalAggregateCursor(GeneratorCursor):
         """Sweep one group's constant intervals.
 
         *rows* arrive sorted on T1 (the external sort); the internal second
-        copy sorted on T2 drives the removals.
+        copy sorted on T2 drives the removals.  Not itself a generator —
+        it hands back the sweep's iterator directly, saving one generator
+        frame per emitted tuple.
         """
         meter = self._meter
         by_end = sorted(rows, key=lambda row: row[t2_pos])
@@ -119,6 +130,24 @@ class TemporalAggregateCursor(GeneratorCursor):
             count = len(rows)
             meter.charge_cpu(count * max(1, count.bit_length()))
 
+        if all(spec.func == "COUNT" for spec in self.aggregates):
+            return self._sweep_counts(
+                key, rows, by_end, t1_pos, t2_pos, argument_positions, meter
+            )
+        return self._sweep_general(
+            key, rows, by_end, t1_pos, t2_pos, argument_positions, meter
+        )
+
+    def _sweep_general(
+        self,
+        key: tuple,
+        rows: list[tuple],
+        by_end: list[tuple],
+        t1_pos: int,
+        t2_pos: int,
+        argument_positions: list[int | None],
+        meter: CostMeter | None,
+    ) -> Iterator[tuple]:
         sliding = [SlidingAggregate(spec.func) for spec in self.aggregates]
         start_index = 0
         end_index = 0
@@ -150,6 +179,83 @@ class TemporalAggregateCursor(GeneratorCursor):
                 row = by_end[end_index]
                 for agg, position in zip(sliding, argument_positions):
                     agg.remove(1 if position is None else row[position])
+                end_index += 1
+                if meter is not None:
+                    meter.charge_cpu(1)
+            previous = instant
+
+    @staticmethod
+    def _sweep_counts(
+        key: tuple,
+        rows: list[tuple],
+        by_end: list[tuple],
+        t1_pos: int,
+        t2_pos: int,
+        argument_positions: list[int | None],
+        meter: CostMeter | None,
+    ) -> Iterator[tuple]:
+        """The sweep specialized to all-COUNT aggregates (Queries 1 and 2).
+
+        COUNT slides with a plain integer per aggregate — no
+        :class:`SlidingAggregate` objects, no per-instant generator
+        expressions — which roughly halves the per-tuple cost of the
+        paper's flagship aggregation.  ``COUNT(A)`` still skips NULLs.
+        """
+        start_index = 0
+        end_index = 0
+        total = len(rows)
+        previous: int | None = None
+        infinity = float("inf")
+
+        if len(argument_positions) == 1:
+            # One COUNT (the Query 1 / Query 2 shape): slide a scalar.
+            position = argument_positions[0]
+            count = 0
+            while end_index < total:
+                next_start = (
+                    rows[start_index][t1_pos] if start_index < total else infinity
+                )
+                next_end = by_end[end_index][t2_pos]
+                instant = next_start if next_start < next_end else next_end
+
+                if previous is not None and previous < instant and count:
+                    yield key + (previous, instant, count)
+                while start_index < total and rows[start_index][t1_pos] == instant:
+                    if position is None or rows[start_index][position] is not None:
+                        count += 1
+                    start_index += 1
+                    if meter is not None:
+                        meter.charge_cpu(1)
+                while end_index < total and by_end[end_index][t2_pos] == instant:
+                    if position is None or by_end[end_index][position] is not None:
+                        count -= 1
+                    end_index += 1
+                    if meter is not None:
+                        meter.charge_cpu(1)
+                previous = instant
+            return
+
+        counts = [0] * len(argument_positions)
+        while end_index < total:
+            next_start = rows[start_index][t1_pos] if start_index < total else infinity
+            next_end = by_end[end_index][t2_pos]
+            instant = next_start if next_start < next_end else next_end
+
+            if previous is not None and previous < instant and any(counts):
+                yield key + (previous, instant) + tuple(counts)
+            while start_index < total and rows[start_index][t1_pos] == instant:
+                row = rows[start_index]
+                for index, position in enumerate(argument_positions):
+                    if position is None or row[position] is not None:
+                        counts[index] += 1
+                start_index += 1
+                if meter is not None:
+                    meter.charge_cpu(1)
+            while end_index < total and by_end[end_index][t2_pos] == instant:
+                row = by_end[end_index]
+                for index, position in enumerate(argument_positions):
+                    if position is None or row[position] is not None:
+                        counts[index] -= 1
                 end_index += 1
                 if meter is not None:
                     meter.charge_cpu(1)

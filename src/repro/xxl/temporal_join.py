@@ -17,7 +17,7 @@ from typing import Iterator
 from repro.algebra.schema import Attribute, AttrType, Schema
 from repro.dbms.costmodel import CostMeter
 from repro.temporal.period import overlaps
-from repro.xxl.cursor import Cursor, GeneratorCursor
+from repro.xxl.cursor import BatchReader, Cursor, GeneratorCursor
 from repro.xxl.merge_join import read_group
 
 
@@ -71,20 +71,22 @@ class TemporalJoinCursor(GeneratorCursor):
         right_keep = self._right_keep
         meter = self._meter
 
-        left_row = self._left.next() if self._left.has_next() else None
-        right_row = self._right.next() if self._right.has_next() else None
+        left_reader = BatchReader(self._left, self.batch_size)
+        right_reader = BatchReader(self._right, self.batch_size)
+        left_row = left_reader.read()
+        right_row = right_reader.read()
         while left_row is not None and right_row is not None:
             if meter is not None:
                 meter.charge_cpu(1)
             left_value = left_row[left_pos]
             right_value = right_row[right_pos]
             if left_value < right_value:
-                left_row = self._left.next() if self._left.has_next() else None
+                left_row = left_reader.read()
             elif left_value > right_value:
-                right_row = self._right.next() if self._right.has_next() else None
+                right_row = right_reader.read()
             else:
-                left_group, left_row = read_group(self._left, left_pos, left_row)
-                right_group, right_row = read_group(self._right, right_pos, right_row)
+                left_group, left_row = read_group(left_reader, left_pos, left_row)
+                right_group, right_row = read_group(right_reader, right_pos, right_row)
                 # Within a value pack, check every period pair; packs are
                 # small for realistic keys, and sorting the pack by start
                 # time lets us stop early.

@@ -1,0 +1,85 @@
+"""Integration: the statistics-epoch plan cache across the benchmark queries.
+
+Correctness contract (the ISSUE's satellite 3): an identical re-run is a
+cache hit that skips the optimizer; a statistics refresh (new epoch) or a
+different ``TangoConfig`` forces a fresh optimization; cached plans return
+the same answers as fresh ones.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.tango import Tango, TangoConfig
+from repro.workloads import queries
+
+
+@pytest.fixture
+def tango(uis_db):
+    return Tango(uis_db)
+
+
+def benchmark_queries(db):
+    """Queries 1-4: Query 1 as SQL text, 2-4 as initial algebra trees."""
+    return [
+        queries.query1_sql(),
+        queries.query2_initial_plan(db, "1996-01-01"),
+        queries.query3_initial_plan(db, "1995-01-01"),
+        queries.query4_initial_plan(db),
+    ]
+
+
+class TestCacheHits:
+    def test_identical_rerun_skips_optimizer(self, tango):
+        for query in benchmark_queries(tango.db):
+            runs_before = tango.metrics.value("optimizer_runs")
+            first = tango.optimize(query)
+            assert tango.metrics.value("optimizer_runs") == runs_before + 1
+            second = tango.optimize(query)
+            # Same object, no new optimizer invocation.
+            assert second is first
+            assert tango.metrics.value("optimizer_runs") == runs_before + 1
+        assert tango.metrics.value("plan_cache_hits") == 4
+        assert tango.metrics.value("plan_cache_misses") == 4
+
+    def test_cached_query_answers_match(self, tango):
+        first = tango.query(queries.query1_sql())
+        second = tango.query(queries.query1_sql())
+        assert second.rows == first.rows
+        assert tango.metrics.value("plan_cache_hits") == 1
+
+    def test_whitespace_variant_hits(self, tango):
+        tango.optimize(queries.query1_sql())
+        variant = "  " + queries.query1_sql().replace(" FROM ", "\n  from ")
+        tango.optimize(variant)
+        assert tango.metrics.value("plan_cache_hits") == 1
+        assert tango.metrics.value("optimizer_runs") == 1
+
+
+class TestCacheInvalidation:
+    def test_statistics_epoch_bump_forces_reoptimize(self, tango):
+        tango.optimize(queries.query1_sql())
+        epoch = tango.collector.epoch
+        tango.refresh_statistics(["POSITION"])
+        assert tango.collector.epoch == epoch + 1
+        tango.optimize(queries.query1_sql())
+        assert tango.metrics.value("optimizer_runs") == 2
+        assert tango.metrics.value("plan_cache_hits") == 0
+
+    def test_config_change_forces_reoptimize(self, tango):
+        tango.optimize(queries.query1_sql())
+        tango.config = replace(tango.config, use_histograms=False)
+        tango.optimize(queries.query1_sql())
+        assert tango.metrics.value("optimizer_runs") == 2
+        assert tango.metrics.value("plan_cache_hits") == 0
+        # Back to the original config: the first entry still matches.
+        tango.config = replace(tango.config, use_histograms=True)
+        tango.optimize(queries.query1_sql())
+        assert tango.metrics.value("optimizer_runs") == 2
+        assert tango.metrics.value("plan_cache_hits") == 1
+
+    def test_cache_disabled_by_config(self, uis_db):
+        tango = Tango(uis_db, config=TangoConfig(plan_cache_size=0))
+        tango.optimize(queries.query1_sql())
+        tango.optimize(queries.query1_sql())
+        assert tango.metrics.value("optimizer_runs") == 2
+        assert tango.metrics.value("plan_cache_hits") == 0

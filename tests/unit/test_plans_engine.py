@@ -4,11 +4,13 @@ import pytest
 
 from repro.algebra.builder import scan
 from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.schema import Attribute, Schema
 from repro.core.engine import ExecutionEngine
-from repro.core.plans import compile_plan
+from repro.core.plans import ExecutionPlan, compile_plan
 from repro.dbms.jdbc import Connection
-from repro.errors import PlanError
-from repro.xxl.sources import SQLCursor
+from repro.errors import DatabaseError, ExecutionError, PlanError
+from repro.xxl.cursor import GeneratorCursor
+from repro.xxl.sources import RelationCursor, SQLCursor
 from repro.xxl.transfer import TransferDCursor
 
 
@@ -124,3 +126,47 @@ class TestExecutionEngine:
         table = connection.db.table(transfer.table_name)
         assert table.clustered_order == ("PosID", "T1")
         execution.cleanup()
+
+
+class TestTeardownOnFailure:
+    """A mid-query failure must never leave TANGO_TMP* tables behind."""
+
+    @staticmethod
+    def make_transfer_down(connection):
+        schema = Schema([Attribute("X")])
+        return TransferDCursor(
+            RelationCursor(schema, [(1,), (2,), (3,)]), connection
+        )
+
+    def test_failure_during_drain_drops_temp_tables(self, figure3_db, connection):
+        class ExplodingCursor(GeneratorCursor):
+            def _generate(self):
+                yield (1,)
+                raise ExecutionError("mid-query failure")
+
+        tables_before = set(figure3_db.list_tables())
+        transfer = self.make_transfer_down(connection)
+        plan = ExecutionPlan(
+            steps=[transfer, ExplodingCursor(Schema([Attribute("X")]))],
+            transfers_down=[transfer],
+        )
+        with pytest.raises(ExecutionError, match="mid-query failure"):
+            ExecutionEngine().execute(plan)
+        assert set(figure3_db.list_tables()) == tables_before
+
+    def test_failure_during_init_drops_temp_tables(self, figure3_db, connection):
+        tables_before = set(figure3_db.list_tables())
+        transfer = self.make_transfer_down(connection)
+        # The second step's SQL is invalid: init() raises after the
+        # TRANSFER^D step has already materialized its table.
+        bad = SQLCursor(connection, "SELECT * FROM NO_SUCH_TABLE")
+        plan = ExecutionPlan(steps=[transfer, bad], transfers_down=[transfer])
+        with pytest.raises(DatabaseError):
+            ExecutionEngine().execute(plan)
+        assert set(figure3_db.list_tables()) == tables_before
+
+    def test_drop_is_idempotent(self, connection):
+        transfer = self.make_transfer_down(connection)
+        transfer.init()
+        transfer.drop()
+        transfer.drop()  # second drop is a no-op, not an error
