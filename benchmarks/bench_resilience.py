@@ -1,0 +1,125 @@
+"""Resilience under chaos, measured.
+
+Runs the paper's four queries fault-free and again under seeded transient
+faults (``BENCH_CHAOS_P``, default 0.2, on round trips and load chunks):
+
+* both runs must return identical answers (chaos costs latency, never
+  correctness);
+* the chaos run must actually retry (nonzero ``retries``) and must not
+  leak a single ``TANGO_TMP`` table;
+* the chaos run's simulated DBMS work must stay within
+  ``BENCH_CHAOS_MAX_OVERHEAD``× of fault-free (default 3.0) — retries
+  re-send individual calls, they do not re-run queries.
+
+Each run's metrics registry is snapshotted into ``BENCH_CHAOS_JSON``
+(default ``bench_resilience_metrics.json``) so CI can archive the numbers.
+"""
+
+import json
+import os
+
+from harness import print_series
+
+from repro.core.tango import Tango, TangoConfig
+from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
+from repro.workloads import queries
+
+CHAOS_P = float(os.environ.get("BENCH_CHAOS_P", "0.2"))
+CHAOS_SEED = int(os.environ.get("BENCH_CHAOS_SEED", "20010521"))
+MAX_OVERHEAD = float(os.environ.get("BENCH_CHAOS_MAX_OVERHEAD", "3.0"))
+RESULTS_PATH = os.environ.get("BENCH_CHAOS_JSON", "bench_resilience_metrics.json")
+
+#: Chaos-grade retries: generous attempts, no real backoff sleep, so the
+#: benchmark measures retry *work*, not timer waits.
+CHAOS_RETRY = RetryPolicy(
+    max_attempts=10, budget=100_000, base_delay_seconds=0.0, max_delay_seconds=0.0
+)
+
+
+def four_queries(db):
+    return {
+        "Q1": queries.query1_sql(),
+        "Q2": queries.query2_initial_plan(db, "1996-01-01"),
+        "Q3": queries.query3_initial_plan(db, "1995-01-01"),
+        "Q4": queries.query4_initial_plan(db),
+    }
+
+
+def run_all(tango, workload):
+    answers = {}
+    for name, query in workload.items():
+        if isinstance(query, str):
+            answers[name] = tango.query(query).rows
+        else:
+            answers[name] = tango.execute_plan(tango.optimize(query).plan).rows
+    return answers
+
+
+def snapshot(section: str, payload: dict) -> None:
+    results = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            results = json.load(handle)
+    results[section] = payload
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2)
+
+
+def test_chaos_identity_and_overhead(bench_db):
+    workload = four_queries(bench_db)
+    config = TangoConfig(retry=CHAOS_RETRY)
+
+    meter = bench_db.meter
+    baseline_tango = Tango(bench_db, config=config)
+    before = meter.ticks
+    baseline = run_all(baseline_tango, workload)
+    baseline_ticks = meter.ticks - before
+
+    injector = FaultInjector(
+        FaultPolicy(round_trip_p=CHAOS_P, load_chunk_p=CHAOS_P), seed=CHAOS_SEED
+    )
+    chaos_tango = Tango(bench_db, config=config, fault_injector=injector)
+    before = meter.ticks
+    chaotic = run_all(chaos_tango, workload)
+    chaos_ticks = meter.ticks - before
+
+    for name in workload:
+        assert chaotic[name] == baseline[name], f"{name} changed under chaos"
+    leaked = [t for t in bench_db.list_tables() if t.startswith("TANGO_TMP")]
+    assert leaked == [], f"leaked temp tables: {leaked}"
+
+    retries = chaos_tango.metrics.value("retries")
+    faults = injector.faults_injected
+    assert faults > 0, "chaos run injected no faults — nothing was exercised"
+    assert retries > 0
+
+    overhead = chaos_ticks / max(1, baseline_ticks)
+    print_series(
+        f"chaos p={CHAOS_P} seed={CHAOS_SEED}",
+        ["run", "ticks", "retries", "faults", "fallbacks"],
+        [
+            ["fault-free", baseline_ticks, 0, 0, 0],
+            [
+                "chaos",
+                chaos_ticks,
+                retries,
+                faults,
+                chaos_tango.metrics.value("fallbacks"),
+            ],
+        ],
+    )
+    snapshot(
+        "chaos_run",
+        {
+            "chaos_p": CHAOS_P,
+            "seed": CHAOS_SEED,
+            "baseline_ticks": baseline_ticks,
+            "chaos_ticks": chaos_ticks,
+            "overhead": overhead,
+            "faults_injected": faults,
+            "metrics": chaos_tango.metrics.flush(),
+        },
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"chaos overhead {overhead:.2f}x exceeds {MAX_OVERHEAD}x"
+    )

@@ -29,12 +29,14 @@ paper-versus-measured record of every figure.
 
 from repro.core import Tango, TangoConfig, QueryResult
 from repro.dbms import MiniDB, Connection
+from repro.errors import QueryTimeoutError
 from repro.obs import ExplainAnalyzeReport, MetricsRegistry, Span, Tracer
 from repro.optimizer import CostFactors, Optimizer, PlanCoster
+from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
 from repro.stats import StatisticsCollector, CardinalityEstimator
 from repro.temporal import Period, day_of, date_of
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Tango",
@@ -51,6 +53,10 @@ __all__ = [
     "PlanCoster",
     "StatisticsCollector",
     "CardinalityEstimator",
+    "FaultInjector",
+    "FaultPolicy",
+    "RetryPolicy",
+    "QueryTimeoutError",
     "Period",
     "day_of",
     "date_of",

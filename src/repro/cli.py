@@ -6,6 +6,9 @@ Usage::
     python -m repro script.sql      # execute a ;-separated script
     python -m repro --uis 0.01      # preload the scaled UIS dataset
     python -m repro --trace         # print a span tree after each query
+    python -m repro --chaos 0.2     # inject transient DBMS faults (p=0.2)
+    python -m repro --chaos-seed 7  # ... deterministically, from seed 7
+    python -m repro --deadline 5    # per-query deadline in seconds
 
 Statements are regular SQL (executed by MiniDB) or temporal SQL
 (``VALIDTIME ...``, routed through the TANGO optimizer and execution
@@ -201,6 +204,9 @@ def main(argv: list[str] | None = None) -> int:
     db = MiniDB()
     script_path: str | None = None
     tracing = False
+    chaos_p = 0.0
+    chaos_seed = 0
+    deadline: float | None = None
     while argv:
         argument = argv.pop(0)
         if argument == "--uis":
@@ -211,13 +217,29 @@ def main(argv: list[str] | None = None) -> int:
             load_uis(db, scale=scale)
         elif argument == "--trace":
             tracing = True
+        elif argument == "--chaos":
+            chaos_p = float(argv.pop(0)) if argv and not argv[0].startswith("-") else 0.2
+        elif argument == "--chaos-seed":
+            chaos_seed = int(argv.pop(0))
+        elif argument == "--deadline":
+            deadline = float(argv.pop(0))
         elif argument in ("-h", "--help"):
             print(__doc__)
             return 0
         else:
             script_path = argument
 
-    tango = Tango(db, config=TangoConfig(tracing=tracing))
+    injector = None
+    if chaos_p > 0:
+        from repro.resilience import FaultInjector, FaultPolicy
+
+        print(f"chaos mode: transient fault probability {chaos_p} (seed {chaos_seed})")
+        injector = FaultInjector(FaultPolicy(transient_p=chaos_p), seed=chaos_seed)
+    tango = Tango(
+        db,
+        config=TangoConfig(tracing=tracing, deadline_seconds=deadline),
+        fault_injector=injector,
+    )
     shell = Shell(tango, show_trace=tracing)
     if script_path is not None:
         with open(script_path) as handle:

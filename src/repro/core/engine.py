@@ -13,6 +13,11 @@ drain, or ``close`` — every step is closed and every ``TRANSFER^D`` temp
 table is dropped before the error propagates, so a mid-query failure never
 leaves ``TANGO_TMP*`` tables behind in the DBMS.
 
+Executions can carry a *deadline*: ``deadline_seconds`` is checked at
+batch boundaries (before each step ``init`` and each drain pull), and a
+violation raises :class:`~repro.errors.QueryTimeoutError` carrying the
+partial execution trace — after the same unconditional teardown.
+
 Every execution is materialized as a span tree (:mod:`repro.obs`): one
 child span per plan step, nested spans per cursor carrying cardinalities,
 transfer spans carrying the tuple/byte/second attributes the Section 7
@@ -34,6 +39,7 @@ from dataclasses import dataclass, field
 from repro.algebra.schema import Schema
 from repro.core.feedback import TransferObservation, observations_from_trace
 from repro.core.plans import ExecutionPlan
+from repro.errors import QueryTimeoutError
 from repro.obs.instrument import execution_trace, instrument_plan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
@@ -77,22 +83,45 @@ class ExecutionEngine:
         instrument: bool = False,
         batch_size: int | None = None,
         metrics: MetricsRegistry | None = None,
+        deadline_seconds: float | None = None,
     ) -> ExecutionOutcome:
         """Figure 2's ExecuteQuery: init every result set, drain the last.
 
         *batch_size* is the rows-per-``next_batch`` of the drain loop; when
         omitted, the output cursor's own (plan-compiled) batch size is
         used.  *metrics*, when given, receives the ``batches_produced``
-        counter and the ``rows_per_batch`` histogram.
+        counter and the ``rows_per_batch`` histogram.  *deadline_seconds*
+        bounds the execution's wall time, checked at batch boundaries (step
+        inits and every drain pull); a violation raises
+        :class:`~repro.errors.QueryTimeoutError` carrying the partial span
+        tree — after the usual unconditional teardown, so a timed-out query
+        leaks no temp tables either.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         if instrument:
             instrument_plan(plan)
         begin = time.perf_counter()
+        deadline = (
+            begin + deadline_seconds if deadline_seconds is not None else None
+        )
+
+        def check_deadline() -> None:
+            if deadline is not None and time.perf_counter() >= deadline:
+                if metrics is not None:
+                    metrics.counter("deadline_exceeded").inc()
+                partial = execution_trace(plan, time.perf_counter() - begin)
+                partial.set(rows=len(rows), batches=batches, deadline_exceeded=True)
+                tracer.attach(partial)
+                raise QueryTimeoutError(
+                    f"query exceeded its deadline of {deadline_seconds}s",
+                    partial_trace=partial,
+                )
+
         rows: list[tuple] = []
         batches = 0
         try:
             for step in plan.steps:
+                check_deadline()
                 step.init()
             output = plan.output
             size = max(
@@ -103,6 +132,7 @@ class ExecutionEngine:
             )
             fill = metrics.histogram("rows_per_batch") if metrics is not None else None
             while True:
+                check_deadline()
                 batch = output.next_batch(size)
                 if not batch:
                     break

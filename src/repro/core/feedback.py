@@ -98,6 +98,15 @@ class FeedbackAdapter:
         for observation in observations:
             if observation.tuples < self.min_tuples:
                 continue
+            if observation.direction not in ("up", "down"):
+                # An unknown direction updates no factor; counting it as
+                # applied would misreport the loop's activity.
+                continue
+            if observation.seconds <= 0:
+                # Clock glitches (and synthetic observations) can report
+                # non-positive timings; folding them in would drag the EMA
+                # toward zero and make transfers look free.
+                continue
             observed = max(
                 0.0,
                 observation.per_tuple_us
@@ -105,7 +114,7 @@ class FeedbackAdapter:
             )
             if observation.direction == "up":
                 p_tmr = (1 - self.smoothing) * p_tmr + self.smoothing * observed
-            elif observation.direction == "down":
+            else:
                 p_tdr = (1 - self.smoothing) * p_tdr + self.smoothing * observed
             self.observations_applied += 1
         if p_tmr == factors.p_tmr and p_tdr == factors.p_tdr:

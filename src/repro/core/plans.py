@@ -116,6 +116,7 @@ def compile_plan(
     translator: SQLTranslator | None = None,
     registry: dict[int, Operator] | None = None,
     batch_size: int | None = None,
+    retry=None,
 ) -> ExecutionPlan:
     """Compile an optimized operator tree into an :class:`ExecutionPlan`.
 
@@ -126,7 +127,10 @@ def compile_plan(
     the join key EXPLAIN ANALYZE uses to lay actuals against estimates.
     *batch_size* (``TangoConfig.batch_size``) is stamped onto every created
     cursor so the whole pipeline — including ``TRANSFER^D`` load chunking —
-    moves rows in batches of that size.
+    moves rows in batches of that size.  *retry* (a
+    :class:`~repro.resilience.retry.RetryState`, the per-query retry
+    budget) is handed to every transfer cursor so DBMS calls are retried
+    under the configured policy.
     """
     if plan.location is not Location.MIDDLEWARE:
         raise PlanError(
@@ -134,7 +138,7 @@ def compile_plan(
             "wrap the tree in a T^M"
         )
     compiler = _Compiler(
-        connection, meter, translator or SQLTranslator(), registry, batch_size
+        connection, meter, translator or SQLTranslator(), registry, batch_size, retry
     )
     root = compiler.build(plan)
     execution_plan = ExecutionPlan(
@@ -152,12 +156,14 @@ class _Compiler:
         translator: SQLTranslator,
         registry: dict[int, Operator] | None = None,
         batch_size: int | None = None,
+        retry=None,
     ):
         self._connection = connection
         self._meter = meter
         self._translator = translator
         self._registry = registry
         self._batch_size = max(1, batch_size) if batch_size is not None else None
+        self._retry = retry
         #: Steps that must be initialized before the output cursor, in order.
         self.steps: list[Cursor] = []
         self.transfers_down: list[TransferDCursor] = []
@@ -231,7 +237,7 @@ class _Compiler:
         """
         self._prepare_transfers_down(node.input)
         sql = self._translator.translate(node.input, self._temp_names)
-        return SQLCursor(self._connection, sql)
+        return SQLCursor(self._connection, sql, retry=self._retry)
 
     def _prepare_transfers_down(self, node: Operator) -> None:
         if isinstance(node, TransferD):
@@ -249,6 +255,7 @@ class _Compiler:
                     chunk_size=self._batch_size
                     if self._batch_size is not None
                     else DEFAULT_LOAD_CHUNK,
+                    retry=self._retry,
                 )
                 self._register(transfer, node)
                 self.steps.append(transfer)

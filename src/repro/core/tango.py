@@ -48,9 +48,11 @@ from repro.core.plan_cache import PlanCache, fingerprint
 from repro.core.plans import compile_plan
 from repro.core.translator import SQLTranslator
 from repro.dbms.database import MiniDB
-from repro.errors import DatabaseError
+from repro.errors import DatabaseError, RetryExhaustedError
 from repro.dbms.costmodel import CostMeter
 from repro.dbms.jdbc import Connection
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy, RetryState
 from repro.obs.explain import ExplainAnalyzeReport, build_report
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
@@ -89,6 +91,17 @@ class TangoConfig:
     #: Plans kept in the statistics-epoch plan cache (LRU); 0 disables
     #: caching.
     plan_cache_size: int = 64
+    #: How transient DBMS failures inside the transfer operators are
+    #: retried (capped exponential backoff, per-query budget).
+    retry: RetryPolicy = RetryPolicy()
+    #: Wall-time bound per query execution, checked at batch boundaries;
+    #: a violation raises :class:`~repro.errors.QueryTimeoutError` carrying
+    #: the partial trace.  None = no deadline.
+    deadline_seconds: float | None = None
+    #: When a middleware-partitioned plan fails beyond its retry budget,
+    #: re-execute the Section 3.1 initial plan (all processing in the
+    #: DBMS) instead of surfacing the error.
+    fallback: bool = True
 
 
 #: The old Tango(...) keyword arguments now living in TangoConfig.
@@ -169,6 +182,7 @@ class Tango:
         *,
         factors: CostFactors | None = None,
         middleware_meter: CostMeter | None = None,
+        fault_injector: FaultInjector | None = None,
         use_histograms: bool | None = None,
         prefetch: int | None = None,
         adaptive: bool | None = None,
@@ -186,8 +200,16 @@ class Tango:
         self.db = db
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(enabled=self.config.tracing)
+        #: Chaos harness, when supplied: every DBMS touchpoint of this
+        #: instance's connection first passes through the injector.
+        self.fault_injector = fault_injector
+        if fault_injector is not None and fault_injector.metrics is None:
+            fault_injector.metrics = self.metrics
         self.connection = Connection(
-            db, prefetch=self.config.prefetch, metrics=self.metrics
+            db,
+            prefetch=self.config.prefetch,
+            metrics=self.metrics,
+            injector=fault_injector,
         )
         #: Meter charged by middleware algorithms (separate from the DBMS's).
         self.middleware_meter = middleware_meter or CostMeter()
@@ -240,8 +262,15 @@ class Tango:
     def calibrate(
         self, sizes: tuple[int, ...] = (500, 2000), repeats: int = 3
     ) -> CostFactors:
-        """Fit cost factors on this machine (the Cost Estimator component)."""
-        self.factors = Calibrator(self.connection, sizes, repeats).calibrate(
+        """Fit cost factors on this machine (the Cost Estimator component).
+
+        Probes run on a pristine connection without the fault injector:
+        calibration is an offline measurement phase, and injected faults
+        (or their retries) would otherwise be fitted into the cost factors
+        as if they were real DBMS costs.
+        """
+        calibration_connection = Connection(self.db, prefetch=self.config.prefetch)
+        self.factors = Calibrator(calibration_connection, sizes, repeats).calibrate(
             self.factors
         )
         self._optimizer = None
@@ -311,10 +340,22 @@ class Tango:
         self.plan_cache.put(key, result)
         return result
 
-    def execute_plan(self, plan: Operator) -> QueryResult:
-        """Execute a complete (validated) plan tree."""
+    def _retry_state(self) -> RetryState:
+        """A fresh per-execution retry budget under the configured policy."""
+        return RetryState(self.config.retry, metrics=self.metrics)
+
+    def execute_plan(self, plan: Operator, retry: RetryState | None = None) -> QueryResult:
+        """Execute a complete (validated) plan tree.
+
+        *retry* is the per-query retry budget; callers executing one plan
+        directly can omit it (a fresh budget is created).  Transient DBMS
+        failures inside the transfer operators are retried under
+        ``config.retry``; ``config.deadline_seconds`` bounds the
+        execution's wall time.
+        """
         self._check_open()
         validate_plan(plan)
+        retry = retry if retry is not None else self._retry_state()
         with self.tracer.span("translate", kind="phase") as span:
             execution_plan = compile_plan(
                 plan,
@@ -322,10 +363,14 @@ class Tango:
                 self.middleware_meter,
                 self.translator,
                 batch_size=self.config.batch_size,
+                retry=retry,
             )
             span.set(steps=len(execution_plan.steps))
         outcome = self.engine.execute(
-            execution_plan, tracer=self.tracer, metrics=self.metrics
+            execution_plan,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            deadline_seconds=self.config.deadline_seconds,
         )
         self._record_execution(outcome)
         return QueryResult(
@@ -341,7 +386,12 @@ class Tango:
         """The full TANGO path: parse, optimize, execute.
 
         Non-temporal statements go straight to the DBMS (stratum
-        passthrough).
+        passthrough).  When the optimizer's partitioned plan fails beyond
+        its retry budget (``config.fallback``), the engine has already torn
+        it down (temp tables dropped) and the query is re-executed on the
+        Section 3.1 initial plan — all processing in the DBMS, one
+        ``TRANSFER^M`` on top — so a flaky connection costs latency, never
+        a wrong answer or an application-visible error.
         """
         self._check_open()
         self.metrics.counter("queries_total").inc()
@@ -352,7 +402,12 @@ class Tango:
         begin = time.perf_counter()
         with self.tracer.span("query", kind="query", sql=sql) as query_span:
             optimization = self.optimize(sql)
-            result = self.execute_plan(optimization.plan)
+            try:
+                result = self.execute_plan(optimization.plan)
+            except RetryExhaustedError as error:
+                if not self.config.fallback:
+                    raise
+                result = self._fallback(sql, error)
         # Middleware optimization time is part of the query time (Section
         # 5.1); execution_seconds keeps the engine-only share.
         result.elapsed_seconds = time.perf_counter() - begin
@@ -364,6 +419,21 @@ class Tango:
             result.trace = query_span
         self.metrics.histogram("query_seconds").observe(result.elapsed_seconds)
         return result
+
+    def _fallback(self, sql: str, error: RetryExhaustedError) -> QueryResult:
+        """Re-execute *sql* on its initial plan (Figure 4(a): everything in
+        the DBMS), after the partitioned plan failed beyond its budget.
+
+        The all-DBMS shape is the most failure-resistant plan available:
+        it needs no ``TRANSFER^D`` round trips and ships the result in a
+        single ``TRANSFER^M``, with a fresh retry budget of its own.
+        """
+        self.metrics.counter("fallbacks").inc()
+        with self.tracer.span(
+            "fallback", kind="fallback", error=str(error), retries=error.retries
+        ):
+            initial = self.parse(sql)
+            return self.execute_plan(initial)
 
     def explain(self, sql: str) -> str:
         """The chosen plan and its cost breakdown, without executing."""
@@ -393,9 +463,14 @@ class Tango:
             self.translator,
             registry=registry,
             batch_size=self.config.batch_size,
+            retry=self._retry_state(),
         )
         outcome = self.engine.execute(
-            execution_plan, tracer=Tracer(), instrument=True, metrics=self.metrics
+            execution_plan,
+            tracer=Tracer(),
+            instrument=True,
+            metrics=self.metrics,
+            deadline_seconds=self.config.deadline_seconds,
         )
         self._record_execution(outcome)
         coster = PlanCoster(self.estimator, self.factors)

@@ -19,6 +19,7 @@ from repro.dbms.loader import DirectPathLoader
 from repro.dbms.sql.executor import ResultSet
 from repro.errors import DatabaseError
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultInjector
 
 #: Default JDBC row-prefetch (Oracle's historical default is 10).
 DEFAULT_PREFETCH = 10
@@ -41,11 +42,28 @@ class Cursor:
         self._buffer: list[tuple] = []
         self._buffer_pos = 0
         self._exhausted = False
+        self._round_trips = 0
+        self._closed = False
         self.rowcount = -1
+
+    def _check_usable(self) -> None:
+        """Fetches and statements require an open cursor *and* connection.
+
+        The connection check matters: the simulated result set lives
+        in-process, so without it a cursor created before
+        ``Connection.close()`` would happily keep "fetching" rows over a
+        connection the application already released.
+        """
+        if self._closed:
+            raise DatabaseError("cursor is closed")
+        if self._connection.closed:
+            raise DatabaseError("connection is closed")
 
     # -- statement execution ------------------------------------------------------
 
     def execute(self, sql: str) -> "Cursor":
+        self._check_usable()
+        self._connection._inject("execute")
         db = self._connection.db
         outcome = db.execute(sql)
         if isinstance(outcome, ResultSet):
@@ -54,6 +72,7 @@ class Cursor:
             self._buffer = []
             self._buffer_pos = 0
             self._exhausted = False
+            self._round_trips = 0
             self.rowcount = -1
         else:
             self._result = None
@@ -75,28 +94,41 @@ class Cursor:
     # -- fetching -------------------------------------------------------------------
 
     def _refill(self) -> None:
-        """Pull the next prefetch batch across the simulated wire."""
+        """Pull the next prefetch batch across the simulated wire.
+
+        A round trip is charged (and counted) only when the batch carries
+        rows — except for the very first one, which a client always pays
+        to learn the result is empty.  A result of exactly ``k * prefetch``
+        rows therefore costs exactly ``k`` round trips: the trailing
+        empty pull that merely discovers exhaustion is free, as it would
+        be for a real driver that piggybacks the end-of-data marker on the
+        last full batch.
+        """
         assert self._iterator is not None
+        self._connection._inject("round_trip")
         batch: list[tuple] = []
         row_width = self.schema.row_width
         for row in self._iterator:
             batch.append(row)
             if len(batch) >= self.prefetch:
                 break
-        meter = self._connection.db.meter
-        meter.charge_cpu(ROUND_TRIP_COST)
-        meter.charge_cpu(int(len(batch) * row_width * PER_BYTE_COST))
-        metrics = self._connection.metrics
-        if metrics is not None:
-            metrics.counter("dbms_round_trips").inc()
-            metrics.counter("dbms_rows_fetched").inc(len(batch))
-            metrics.counter("dbms_bytes_fetched").inc(len(batch) * row_width)
+        if batch or self._round_trips == 0:
+            self._round_trips += 1
+            meter = self._connection.db.meter
+            meter.charge_cpu(ROUND_TRIP_COST)
+            meter.charge_cpu(int(len(batch) * row_width * PER_BYTE_COST))
+            metrics = self._connection.metrics
+            if metrics is not None:
+                metrics.counter("dbms_round_trips").inc()
+                metrics.counter("dbms_rows_fetched").inc(len(batch))
+                metrics.counter("dbms_bytes_fetched").inc(len(batch) * row_width)
         if len(batch) < self.prefetch:
             self._exhausted = True
         self._buffer = batch
         self._buffer_pos = 0
 
     def fetchone(self) -> tuple | None:
+        self._check_usable()
         if self._result is None:
             raise DatabaseError("no open result set")
         if self._buffer_pos >= len(self._buffer):
@@ -111,7 +143,14 @@ class Cursor:
 
     def fetchmany(self, count: int) -> list[tuple]:
         """Up to *count* rows in one call, sliced straight off the prefetch
-        buffer — the batched face of ``TRANSFER^M``."""
+        buffer — the batched face of ``TRANSFER^M``.
+
+        Exception-safe: if a refill fails mid-call (e.g. an injected
+        transient fault), rows already collected are parked back as the
+        current buffer before the error propagates, so a retried
+        ``fetchmany`` re-serves them instead of dropping them.
+        """
+        self._check_usable()
         if self._result is None:
             raise DatabaseError("no open result set")
         rows: list[tuple] = []
@@ -120,7 +159,13 @@ class Cursor:
             if available <= 0:
                 if self._exhausted:
                     break
-                self._refill()
+                try:
+                    self._refill()
+                except BaseException:
+                    if rows:
+                        self._buffer = rows
+                        self._buffer_pos = 0
+                    raise
                 if not self._buffer:
                     break
                 continue
@@ -144,7 +189,14 @@ class Cursor:
                 return
             yield row
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Release the result set; idempotent and terminal — any later
+        ``execute``/fetch raises instead of resurrecting buffer state."""
+        self._closed = True
         self._result = None
         self._iterator = None
         self._buffer = []
@@ -155,7 +207,11 @@ class Connection:
 
     When built with a :class:`~repro.obs.metrics.MetricsRegistry`, the
     connection counts its traffic: round trips, rows and bytes fetched,
-    rows bulk-loaded.
+    rows bulk-loaded.  When built with a
+    :class:`~repro.resilience.faults.FaultInjector`, every DBMS touchpoint
+    (statement execution, prefetch round trips, load chunks) first passes
+    through the injector — the chaos harness the resilience tests and
+    benchmarks run the paper's queries under.
     """
 
     def __init__(
@@ -163,12 +219,18 @@ class Connection:
         db: MiniDB,
         prefetch: int = DEFAULT_PREFETCH,
         metrics: MetricsRegistry | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.db = db
         self.prefetch = prefetch
         self.metrics = metrics
+        self.injector = injector
         self._loader = DirectPathLoader(db)
         self._closed = False
+
+    def _inject(self, op: str) -> None:
+        if self.injector is not None:
+            self.injector.before(op)
 
     @property
     def closed(self) -> bool:
@@ -197,6 +259,7 @@ class Connection:
         """Direct-path load (the ``TRANSFER^D`` fast path)."""
         if self._closed:
             raise DatabaseError("connection is closed")
+        self._inject("load_chunk")
         loaded = self._loader.load(table_name, schema, rows, order)
         if self.metrics is not None:
             self.metrics.counter("dbms_rows_loaded").inc(loaded)
@@ -206,6 +269,7 @@ class Connection:
         """Create an empty direct-path load target (``TRANSFER^D`` setup)."""
         if self._closed:
             raise DatabaseError("connection is closed")
+        self._inject("execute")
         self._loader.create(table_name, schema)
 
     def executemany(
@@ -224,6 +288,7 @@ class Connection:
         """
         if self._closed:
             raise DatabaseError("connection is closed")
+        self._inject("load_chunk")
         loaded = self._loader.append(table_name, schema, rows, order)
         if self.metrics is not None:
             self.metrics.counter("dbms_rows_loaded").inc(loaded)
@@ -231,4 +296,6 @@ class Connection:
         return loaded
 
     def drop_temp(self, table_name: str) -> None:
+        # No fault injection here: end-of-query cleanup must stay reliable,
+        # or chaos runs would leak the temp tables they exist to clean up.
         self._loader.unload(table_name)

@@ -68,13 +68,23 @@ class DirectPathLoader:
         if needed.  Charges I/O only for the blocks the chunk newly fills,
         so a chunked load telescopes to the same cost as one-shot
         :meth:`load`.
+
+        Atomic per chunk: if the load fails partway (a bad row, a faulting
+        row iterable), rows the failed chunk already appended are rolled
+        back before the error propagates — so retrying the same chunk
+        cannot double-load its prefix.
         """
         if self._db.has_table(table_name):
             table = self._db.table(table_name)
         else:
             table = self.create(table_name, schema)
         blocks_before = table.blocks
-        loaded = table.bulk_load(rows, order)
+        rows_before = table.cardinality
+        try:
+            loaded = table.bulk_load(rows, order)
+        except BaseException:
+            del table.rows[rows_before:]
+            raise
         self._db.meter.charge_io(max(0, table.blocks - blocks_before))
         self._db.meter.charge_cpu(loaded)
         return loaded

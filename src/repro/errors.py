@@ -29,6 +29,45 @@ class DatabaseError(ReproError):
     """Base class for MiniDB errors."""
 
 
+class TransientError(DatabaseError):
+    """A DBMS call failed in a way that may succeed on retry.
+
+    The resilience layer (:mod:`repro.resilience`) raises these from its
+    fault injector and retries them under a :class:`~repro.resilience.
+    retry.RetryPolicy`; anything else escaping as a ``TransientError`` is
+    treated the same way.
+    """
+
+
+class RetryExhaustedError(TransientError):
+    """A transient failure persisted past the retry budget.
+
+    Carries the number of retries spent (:attr:`retries`) and chains the
+    last underlying :class:`TransientError`.  The engine treats this as
+    the signal to fall back to the all-DBMS initial plan.
+    """
+
+    def __init__(self, message: str, retries: int = 0):
+        super().__init__(message)
+        self.retries = retries
+
+
+class ConnectionDroppedError(DatabaseError):
+    """The DBMS connection is gone; no retry on this connection can help."""
+
+
+class QueryTimeoutError(ReproError):
+    """A query ran past its :attr:`TangoConfig.deadline_seconds`.
+
+    :attr:`partial_trace` holds the span tree of the work completed before
+    the deadline fired (None when the engine had nothing to report).
+    """
+
+    def __init__(self, message: str, partial_trace=None):
+        super().__init__(message)
+        self.partial_trace = partial_trace
+
+
 class SQLSyntaxError(DatabaseError):
     """The SQL text could not be parsed."""
 

@@ -41,6 +41,8 @@ class OperatorMeasurement:
     next_calls: int | None = None
     #: Batches this cursor handed out (actual_rows / batches ≈ mean fill).
     batches: int | None = None
+    #: Transient-fault retries this transfer spent (0/None = none).
+    retries: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -54,6 +56,7 @@ class OperatorMeasurement:
             "actual_total_us": self.actual_total_us,
             "next_calls": self.next_calls,
             "batches": self.batches,
+            "retries": self.retries,
         }
 
 
@@ -92,6 +95,8 @@ class ExplainAnalyzeReport:
             label = "  " * m.depth + m.algorithm
             if m.operator:
                 label += f"  {m.operator}"
+            if m.retries:
+                label += f"  [retries={m.retries}]"
             if len(label) > 44:
                 label = label[:41] + "..."
             est_rows = f"{m.estimated_rows:.0f}" if m.estimated_rows is not None else "-"
@@ -165,6 +170,7 @@ def build_report(
                 actual_total_us=actual_total,
                 next_calls=next_calls,
                 batches=span.attributes.get("batches"),
+                retries=span.attributes.get("retries"),
             )
         )
         for child in span.children:

@@ -221,6 +221,8 @@ def cursor_span(cursor, seen: set[int] | None = None) -> Span | None:
             seconds=raw.fetch_seconds,
             sql=raw.sql,
         )
+        if raw.retries:
+            span.set(retries=raw.retries)
         if span.seconds is None:
             span.seconds = raw.fetch_seconds
     elif isinstance(raw, TransferDCursor):
@@ -232,6 +234,8 @@ def cursor_span(cursor, seen: set[int] | None = None) -> Span | None:
             seconds=raw.load_seconds,
             table=raw.table_name,
         )
+        if raw.retries:
+            span.set(retries=raw.retries)
         if span.seconds is None:
             span.seconds = raw.load_seconds
 

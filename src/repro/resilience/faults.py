@@ -1,0 +1,135 @@
+"""Deterministic fault injection at the middleware↔DBMS boundary.
+
+A :class:`FaultInjector` sits inside the JDBC connection and gets a
+``before(op)`` call at every simulated DBMS touchpoint:
+
+===============  ==============================================================
+operation        raised from
+===============  ==============================================================
+``execute``      :meth:`repro.dbms.jdbc.Cursor.execute` (statement dispatch)
+                 and :meth:`Connection.create_temp` (DDL for ``TRANSFER^D``)
+``round_trip``   :meth:`repro.dbms.jdbc.Cursor._refill` (one prefetch batch
+                 of a ``TRANSFER^M`` fetch)
+``load_chunk``   :meth:`Connection.executemany` / :meth:`Connection.bulk_load`
+                 (one ``TRANSFER^D`` direct-path chunk)
+===============  ==============================================================
+
+``drop_temp`` is deliberately *not* an injection point: end-of-query
+cleanup must stay reliable or chaos runs would leak the very temp tables
+they are meant to prove get dropped.
+
+Everything is seeded: the same :class:`FaultPolicy` and seed produce the
+same fault schedule, so chaos tests are reproducible and retry regressions
+bisectable.  Injection happens *before* the underlying work, so a faulted
+call has no partial effect and is always safe to retry.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConnectionDroppedError, TransientError
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """What to inject, and how often.
+
+    ``transient_p`` is the default per-call probability of a
+    :class:`~repro.errors.TransientError`; the per-operation fields
+    override it for one operation kind.  ``latency_p``/``latency_seconds``
+    inject a latency spike (a sleep, not an error).  ``drop_after``
+    hard-drops the connection after that many DBMS calls — every later
+    call raises :class:`~repro.errors.ConnectionDroppedError`, which no
+    retry can cure.
+    """
+
+    transient_p: float = 0.0
+    execute_p: float | None = None
+    round_trip_p: float | None = None
+    load_chunk_p: float | None = None
+    latency_p: float = 0.0
+    latency_seconds: float = 0.0
+    drop_after: int | None = None
+
+    def probability_for(self, op: str) -> float:
+        override = {
+            "execute": self.execute_p,
+            "round_trip": self.round_trip_p,
+            "load_chunk": self.load_chunk_p,
+        }.get(op)
+        return self.transient_p if override is None else override
+
+
+class FaultInjector:
+    """Seeded chaos source for one connection.
+
+    Counts what it does (:attr:`faults_injected`, :attr:`latency_spikes`,
+    :attr:`calls`) and mirrors the counts into a
+    :class:`~repro.obs.metrics.MetricsRegistry` when one is attached
+    (``Tango`` attaches its own registry when handed an injector).
+    """
+
+    def __init__(self, policy: FaultPolicy, seed: int = 0, metrics=None, sleep=time.sleep):
+        self.policy = policy
+        self.seed = seed
+        self.metrics = metrics
+        self._sleep = sleep
+        self._random = random.Random(seed)
+        self.calls = 0
+        self.faults_injected = 0
+        self.latency_spikes = 0
+        self._dropped = False
+
+    @property
+    def dropped(self) -> bool:
+        return self._dropped
+
+    def reset(self) -> None:
+        """Back to the initial state, same seed — the same fault schedule."""
+        self._random = random.Random(self.seed)
+        self.calls = 0
+        self.faults_injected = 0
+        self.latency_spikes = 0
+        self._dropped = False
+
+    def restore_connection(self) -> None:
+        """Undo a ``drop_after`` drop (reconnect).
+
+        Restarts the drop window: the connection survives another
+        ``drop_after`` calls.  Fault counters are kept.
+        """
+        self._dropped = False
+        self.calls = 0
+
+    def before(self, op: str) -> None:
+        """Possibly fault one DBMS call; called before the real work.
+
+        Raises :class:`~repro.errors.ConnectionDroppedError` once the drop
+        threshold is crossed, :class:`~repro.errors.TransientError` with
+        the policy's per-operation probability, and sleeps for latency
+        spikes.  Raising before the work means a faulted call did nothing,
+        so retrying it cannot double-apply an effect.
+        """
+        self.calls += 1
+        policy = self.policy
+        if policy.drop_after is not None and self.calls > policy.drop_after:
+            self._dropped = True
+        if self._dropped:
+            raise ConnectionDroppedError(
+                f"injected connection drop (after {policy.drop_after} calls)"
+            )
+        if policy.latency_p > 0 and self._random.random() < policy.latency_p:
+            self.latency_spikes += 1
+            if self.metrics is not None:
+                self.metrics.counter("latency_spikes").inc()
+            if policy.latency_seconds > 0:
+                self._sleep(policy.latency_seconds)
+        p = policy.probability_for(op)
+        if p > 0 and self._random.random() < p:
+            self.faults_injected += 1
+            if self.metrics is not None:
+                self.metrics.counter("faults_injected").inc()
+            raise TransientError(f"injected transient fault on {op} (call {self.calls})")

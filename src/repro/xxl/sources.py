@@ -52,16 +52,27 @@ class SQLCursor(Cursor):
     The query is sent on ``init()``; rows arrive through the JDBC cursor's
     prefetch batching — one ``fetchmany`` per middleware batch.  The output
     schema is taken from the DBMS result-set metadata.
+
+    With a :class:`~repro.resilience.retry.RetryState` attached (the
+    per-query retry budget ``compile_plan`` threads through), statement
+    dispatch and every fetch are retried under the policy on
+    :class:`~repro.errors.TransientError` — safe because the JDBC cursor's
+    ``fetchmany`` re-serves rows collected before a failed refill instead
+    of dropping them.
     """
 
-    def __init__(self, connection, sql: str, prefetch: int | None = None):
+    def __init__(self, connection, sql: str, prefetch: int | None = None, retry=None):
         self._connection = connection
         self._sql = sql
         self._prefetch = prefetch
+        self._retry = retry
         self._cursor = None
         #: Wall-clock seconds spent fetching rows from the DBMS — the
         #: performance-feedback signal (Section 7) for TRANSFER^M.
         self.fetch_seconds = 0.0
+        #: Transient-fault retries this cursor spent (EXPLAIN ANALYZE shows
+        #: the count on the transfer span).
+        self.retries = 0
         # The schema is only known after execution; initialize lazily with a
         # placeholder and fix it up in _open().
         super().__init__(Schema([]))
@@ -70,11 +81,22 @@ class SQLCursor(Cursor):
     def sql(self) -> str:
         return self._sql
 
+    def _count_retry(self) -> None:
+        self.retries += 1
+
+    def _call_dbms(self, fn, op: str):
+        if self._retry is None:
+            return fn()
+        return self._retry.run(fn, op=op, on_retry=self._count_retry)
+
     def _open(self) -> None:
         import time
 
         begin = time.perf_counter()
-        self._cursor = self._connection.cursor(self._prefetch).execute(self._sql)
+        self._cursor = self._call_dbms(
+            lambda: self._connection.cursor(self._prefetch).execute(self._sql),
+            "transfer_m.execute",
+        )
         self.fetch_seconds += time.perf_counter() - begin
         self.schema = self._cursor.schema
 
@@ -83,7 +105,7 @@ class SQLCursor(Cursor):
 
         assert self._cursor is not None
         begin = time.perf_counter()
-        row = self._cursor.fetchone()
+        row = self._call_dbms(self._cursor.fetchone, "transfer_m.fetch")
         self.fetch_seconds += time.perf_counter() - begin
         if row is None:
             raise StopIteration
@@ -94,7 +116,9 @@ class SQLCursor(Cursor):
 
         assert self._cursor is not None
         begin = time.perf_counter()
-        batch = self._cursor.fetchmany(n)
+        batch = self._call_dbms(
+            lambda: self._cursor.fetchmany(n), "transfer_m.fetch"
+        )
         self.fetch_seconds += time.perf_counter() - begin
         return batch
 

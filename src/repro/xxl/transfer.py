@@ -51,6 +51,7 @@ class TransferDCursor(Cursor):
         table_name: str | None = None,
         order: tuple[str, ...] = (),
         chunk_size: int = DEFAULT_LOAD_CHUNK,
+        retry=None,
     ):
         super().__init__(Schema([]))
         self._input = input
@@ -58,11 +59,23 @@ class TransferDCursor(Cursor):
         self.table_name = table_name or unique_temp_name()
         self._order = order
         self.chunk_size = max(1, chunk_size)
+        self._retry = retry
         self.rows_loaded = 0
         self._dropped = False
+        #: Transient-fault retries this load spent (EXPLAIN ANALYZE shows
+        #: the count on the transfer span).
+        self.retries = 0
         #: Wall-clock seconds of the bulk load — the performance-feedback
         #: signal (Section 7) for TRANSFER^D.
         self.load_seconds = 0.0
+
+    def _count_retry(self) -> None:
+        self.retries += 1
+
+    def _call_dbms(self, fn, op: str):
+        if self._retry is None:
+            return fn()
+        return self._retry.run(fn, op=op, on_retry=self._count_retry)
 
     def _open(self) -> None:
         self._input.init()
@@ -70,7 +83,10 @@ class TransferDCursor(Cursor):
         # The table must exist even for an empty input: later TRANSFER^M
         # SQL references it by name.
         begin = time.perf_counter()
-        self._connection.create_temp(self.table_name, self.schema)
+        self._call_dbms(
+            lambda: self._connection.create_temp(self.table_name, self.schema),
+            "transfer_d.create",
+        )
         self.load_seconds += time.perf_counter() - begin
         while True:
             # Input production is middleware work and stays outside
@@ -79,8 +95,14 @@ class TransferDCursor(Cursor):
             if not chunk:
                 break
             begin = time.perf_counter()
-            self.rows_loaded += self._connection.executemany(
-                self.table_name, self.schema, chunk, self._order
+            # Retrying re-sends the *same* chunk: the input was drained
+            # exactly once above, and the loader rolls back a chunk that
+            # failed mid-append, so a retry can never double-load rows.
+            self.rows_loaded += self._call_dbms(
+                lambda: self._connection.executemany(
+                    self.table_name, self.schema, chunk, self._order
+                ),
+                "transfer_d.load",
             )
             self.load_seconds += time.perf_counter() - begin
         self._input.close()

@@ -3,15 +3,62 @@
 ``figure3_db`` is the 3-tuple POSITION relation of the paper's Figure 3 —
 the worked example every layer is checked against.  ``uis_db`` is a small
 scaled UIS instance shared (read-only) across integration tests.
+
+Setting ``TANGO_CHAOS_P`` (and optionally ``TANGO_CHAOS_SEED``) runs the
+whole suite under seeded fault injection: every :class:`Tango` built
+without an explicit injector gets one with that per-call transient
+probability on round trips and load chunks.  The CI chaos job uses this to
+prove the resilience layer keeps every test green under p=0.2.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.dbms.database import MiniDB
 from repro.dbms.jdbc import Connection
 from repro.workloads.uis import load_uis
+
+
+@pytest.fixture(autouse=True)
+def _chaos_profile(monkeypatch):
+    """Env-driven chaos: default a FaultInjector into every Tango."""
+    p = float(os.environ.get("TANGO_CHAOS_P", "0") or 0)
+    if p <= 0:
+        yield
+        return
+    seed = int(os.environ.get("TANGO_CHAOS_SEED", "0") or 0)
+    from dataclasses import replace
+
+    from repro.core.tango import Tango, TangoConfig
+    from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
+
+    # Chaos-grade retries: enough attempts that p=0.2 cannot plausibly
+    # exhaust a call site (0.2^10), and zero backoff sleep so the suite's
+    # wall time and timing-sensitive assertions stay usable.
+    chaos_retry = RetryPolicy(
+        max_attempts=10,
+        budget=100_000,
+        base_delay_seconds=0.0,
+        max_delay_seconds=0.0,
+    )
+    original_init = Tango.__init__
+
+    def chaotic_init(self, db, config=None, *, fault_injector=None, **kwargs):
+        if fault_injector is None:
+            fault_injector = FaultInjector(
+                FaultPolicy(round_trip_p=p, load_chunk_p=p), seed=seed
+            )
+            if isinstance(config, TangoConfig):
+                config = replace(config, retry=chaos_retry)
+            elif config is None:
+                config = TangoConfig(retry=chaos_retry)
+        original_init(self, db, config, fault_injector=fault_injector, **kwargs)
+
+    monkeypatch.setattr(Tango, "__init__", chaotic_init)
+    yield
 
 
 FIGURE3_ROWS = [

@@ -66,6 +66,33 @@ class TestFeedbackAdapter:
         adapter.apply(CostFactors(), [obs(), obs(direction="down")])
         assert adapter.observations_applied == 2
 
+    def test_unknown_direction_skipped_and_not_counted(self):
+        factors = CostFactors(p_tmr=1.0, p_tdr=1.0)
+        adapter = FeedbackAdapter(smoothing=1.0)
+        updated = adapter.apply(factors, [obs(direction="sideways")])
+        assert updated is factors
+        assert adapter.observations_applied == 0
+
+    def test_nonpositive_seconds_skipped(self):
+        # A zero/negative timing would drag the EMA toward zero.
+        factors = CostFactors(p_tmr=5.0, p_tm=0.0)
+        adapter = FeedbackAdapter(smoothing=1.0)
+        updated = adapter.apply(
+            factors, [obs(seconds=0.0), obs(seconds=-0.001)]
+        )
+        assert updated is factors
+        assert adapter.observations_applied == 0
+
+    def test_valid_observation_still_applies_among_skipped(self):
+        factors = CostFactors(p_tmr=1.0, p_tm=0.0)
+        adapter = FeedbackAdapter(smoothing=1.0)
+        updated = adapter.apply(
+            factors,
+            [obs(seconds=0.0), obs(direction="bogus"), obs(seconds=0.01, tuples=1000)],
+        )
+        assert updated.p_tmr == pytest.approx(10.0)
+        assert adapter.observations_applied == 1
+
     def test_smoothing_bounds(self):
         with pytest.raises(ValueError):
             FeedbackAdapter(smoothing=0.0)

@@ -4,7 +4,9 @@ import pytest
 
 from repro.dbms.database import MiniDB
 from repro.dbms.jdbc import ROUND_TRIP_COST, Connection
-from repro.errors import DatabaseError
+from repro.errors import DatabaseError, TransientError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import FaultInjector, FaultPolicy
 
 
 @pytest.fixture
@@ -53,6 +55,116 @@ class TestCursor:
         cursor.close()
         with pytest.raises(DatabaseError):
             cursor.fetchone()
+
+    def test_close_is_idempotent_and_terminal(self, connection):
+        cursor = connection.execute("SELECT K FROM T")
+        cursor.fetchone()
+        cursor.close()
+        cursor.close()  # idempotent
+        assert cursor.closed
+        with pytest.raises(DatabaseError):
+            cursor.fetchmany(5)
+        with pytest.raises(DatabaseError):
+            cursor.execute("SELECT K FROM T")  # closed cursors stay closed
+
+    def test_fetch_after_connection_close_raises(self, connection):
+        cursor = connection.execute("SELECT K FROM T")
+        cursor.fetchone()
+        connection.close()
+        with pytest.raises(DatabaseError):
+            cursor.fetchone()
+        with pytest.raises(DatabaseError):
+            cursor.fetchmany(5)
+
+
+class TestRoundTripAccounting:
+    """Exactly ceil(rows / prefetch) round trips, 1 for an empty result."""
+
+    def count_round_trips(self, db, sql, prefetch):
+        metrics = MetricsRegistry()
+        connection = Connection(db, prefetch=prefetch, metrics=metrics)
+        connection.cursor().execute(sql).fetchall()
+        return metrics.value("dbms_round_trips")
+
+    def test_exact_multiple_of_prefetch(self, connection):
+        # 25 rows at prefetch 5: exactly 5 round trips, no trailing empty one.
+        assert (
+            self.count_round_trips(connection.db, "SELECT K FROM T", prefetch=5) == 5
+        )
+
+    def test_non_multiple_of_prefetch(self, connection):
+        assert (
+            self.count_round_trips(connection.db, "SELECT K FROM T", prefetch=10) == 3
+        )
+
+    def test_empty_result_pays_one_round_trip(self, connection):
+        assert (
+            self.count_round_trips(
+                connection.db, "SELECT K FROM T WHERE K < 0", prefetch=10
+            )
+            == 1
+        )
+
+    def test_single_batch_result(self, connection):
+        assert (
+            self.count_round_trips(connection.db, "SELECT K FROM T", prefetch=100) == 1
+        )
+
+    def test_iteration_and_fetchmany_agree(self, connection):
+        metrics = MetricsRegistry()
+        fresh = Connection(connection.db, prefetch=5, metrics=metrics)
+        list(fresh.cursor().execute("SELECT K FROM T"))
+        by_iteration = metrics.value("dbms_round_trips")
+        rows = []
+        cursor = fresh.cursor().execute("SELECT K FROM T")
+        while True:
+            batch = cursor.fetchmany(7)
+            if not batch:
+                break
+            rows.extend(batch)
+        assert metrics.value("dbms_round_trips") - by_iteration == by_iteration
+        assert len(rows) == 25
+
+
+class TestFaultInjection:
+    def test_transient_fault_on_round_trip(self, connection):
+        injector = FaultInjector(FaultPolicy(round_trip_p=1.0), seed=0)
+        chaotic = Connection(connection.db, prefetch=5, injector=injector)
+        cursor = chaotic.cursor().execute("SELECT K FROM T")
+        with pytest.raises(TransientError):
+            cursor.fetchone()
+        assert injector.faults_injected == 1
+
+    def test_fetchmany_reserves_rows_after_mid_call_fault(self, connection):
+        # A fetchmany that faults after collecting rows from the buffer
+        # must re-serve those rows on the retried call, in order.
+        injector = FaultInjector(FaultPolicy(), seed=0)
+        chaotic = Connection(connection.db, prefetch=5, injector=injector)
+        cursor = chaotic.cursor().execute("SELECT K FROM T ORDER BY K")
+        assert cursor.fetchone() == (0,)  # buffer now holds rows 1..4
+        injector.policy = FaultPolicy(round_trip_p=1.0)
+        with pytest.raises(TransientError):
+            cursor.fetchmany(8)  # takes rows 1..4, then the refill faults
+        injector.policy = FaultPolicy()
+        rows = cursor.fetchmany(8)
+        assert [row[0] for row in rows] == [1, 2, 3, 4, 5, 6, 7, 8]
+        assert [row[0] for row in cursor.fetchall()] == list(range(9, 25))
+
+    def test_execute_fault(self, connection):
+        injector = FaultInjector(FaultPolicy(execute_p=1.0), seed=0)
+        chaotic = Connection(connection.db, injector=injector)
+        with pytest.raises(TransientError):
+            chaotic.execute("SELECT K FROM T")
+
+    def test_load_chunk_fault(self, connection):
+        from repro.algebra.schema import Attribute, Schema
+
+        injector = FaultInjector(FaultPolicy(load_chunk_p=1.0), seed=0)
+        chaotic = Connection(connection.db, injector=injector)
+        with pytest.raises(TransientError):
+            chaotic.executemany("TMP_FAULTY", Schema([Attribute("X")]), [(1,)])
+        # The faulted chunk loaded nothing and created nothing.
+        assert not connection.db.has_table("TMP_FAULTY")
 
 
 class TestPrefetch:
