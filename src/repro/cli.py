@@ -9,6 +9,7 @@ Usage::
     python -m repro --chaos 0.2     # inject transient DBMS faults (p=0.2)
     python -m repro --chaos-seed 7  # ... deterministically, from seed 7
     python -m repro --deadline 5    # per-query deadline in seconds
+    python -m repro --workers 4     # partition-parallel execution (1=serial)
 
 Statements are regular SQL (executed by MiniDB) or temporal SQL
 (``VALIDTIME ...``, routed through the TANGO optimizer and execution
@@ -207,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     chaos_p = 0.0
     chaos_seed = 0
     deadline: float | None = None
+    workers = 1
     while argv:
         argument = argv.pop(0)
         if argument == "--uis":
@@ -223,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
             chaos_seed = int(argv.pop(0))
         elif argument == "--deadline":
             deadline = float(argv.pop(0))
+        elif argument == "--workers":
+            workers = int(argv.pop(0))
         elif argument in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -237,7 +241,9 @@ def main(argv: list[str] | None = None) -> int:
         injector = FaultInjector(FaultPolicy(transient_p=chaos_p), seed=chaos_seed)
     tango = Tango(
         db,
-        config=TangoConfig(tracing=tracing, deadline_seconds=deadline),
+        config=TangoConfig(
+            tracing=tracing, deadline_seconds=deadline, workers=workers
+        ),
         fault_injector=injector,
     )
     shell = Shell(tango, show_trace=tracing)

@@ -40,7 +40,8 @@ from repro.algebra.schema import Schema
 from repro.core.feedback import TransferObservation, observations_from_trace
 from repro.core.plans import ExecutionPlan
 from repro.errors import QueryTimeoutError
-from repro.obs.instrument import execution_trace, instrument_plan
+from repro.obs.instrument import execution_trace, instrument_plan, unwrap
+from repro.xxl.exchange import ExchangeCursor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
 from repro.xxl.cursor import DEFAULT_BATCH_SIZE
@@ -146,6 +147,19 @@ class ExecutionEngine:
         elapsed = time.perf_counter() - begin
         if metrics is not None:
             metrics.counter("batches_produced").inc(batches)
+            # Exchange bookkeeping (parallel_efficiency is computed at
+            # cursor close, i.e. during the teardown just above).
+            for step in plan.steps:
+                raw = unwrap(step)
+                if isinstance(raw, ExchangeCursor):
+                    metrics.counter("exchange_partitions").inc(raw.partitions)
+                    if raw.queue_full_stalls:
+                        metrics.counter("queue_full_stalls").inc(
+                            raw.queue_full_stalls
+                        )
+                    metrics.histogram("parallel_efficiency").observe(
+                        raw.parallel_efficiency
+                    )
         trace = execution_trace(plan, elapsed)
         trace.set(rows=len(rows), batches=batches)
         tracer.attach(trace)

@@ -39,15 +39,19 @@ from repro.xxl import (
     Cursor,
     DedupCursor,
     DifferenceCursor,
+    ExchangeCursor,
     FilterCursor,
     MergeJoinCursor,
     ProjectCursor,
+    RepartitionCursor,
     SortCursor,
     SQLCursor,
     TemporalAggregateCursor,
     TemporalJoinCursor,
     TransferDCursor,
 )
+from repro.xxl.exchange import RepartitionOutput
+from repro.xxl.sources import PooledSQLCursor
 from repro.xxl.transfer import DEFAULT_LOAD_CHUNK, unique_temp_name
 
 
@@ -80,6 +84,30 @@ class ExecutionPlan:
 
 def _describe_cursor(cursor: Cursor, indent: int) -> list[str]:
     pad = "  " * indent
+    if isinstance(cursor, ExchangeCursor):
+        reassembly = (
+            "merge on " + ", ".join(cursor.merge_keys)
+            if cursor.merge_keys
+            else "concat"
+        )
+        lines = [
+            f"{pad}EXCHANGE  Partitions: {cursor.partitions}"
+            f"  Workers: {cursor.workers}  Reassembly: {reassembly}"
+        ]
+        for index, child in enumerate(cursor.pipeline_roots):
+            lines.append(f"{pad}  [partition {index}]")
+            lines.extend(_describe_cursor(child, indent + 2))
+        return lines
+    if isinstance(cursor, RepartitionOutput):
+        owner = cursor._owner
+        lines = [
+            f"{pad}REPARTITION  Strategy: hash({owner._spec.attribute})"
+            f"  Partition: {cursor.partition_index}"
+        ]
+        if cursor.partition_index == 0:
+            # The shared serial input is printed once, under partition 0.
+            lines.extend(_describe_cursor(owner._input, indent + 1))
+        return lines
     if isinstance(cursor, SQLCursor):
         sql = " ".join(cursor.sql.split())
         if len(sql) > 100:
@@ -117,6 +145,7 @@ def compile_plan(
     registry: dict[int, Operator] | None = None,
     batch_size: int | None = None,
     retry=None,
+    parallel=None,
 ) -> ExecutionPlan:
     """Compile an optimized operator tree into an :class:`ExecutionPlan`.
 
@@ -130,7 +159,11 @@ def compile_plan(
     moves rows in batches of that size.  *retry* (a
     :class:`~repro.resilience.retry.RetryState`, the per-query retry
     budget) is handed to every transfer cursor so DBMS calls are retried
-    under the configured policy.
+    under the configured policy.  *parallel* (a
+    :class:`~repro.core.partition.ParallelContext`, present only when
+    ``TangoConfig.workers > 1``) lets the compiler fan partitionable
+    pipelines out across an exchange; without it the compiled plan is
+    byte-for-byte the serial one.
     """
     if plan.location is not Location.MIDDLEWARE:
         raise PlanError(
@@ -138,9 +171,15 @@ def compile_plan(
             "wrap the tree in a T^M"
         )
     compiler = _Compiler(
-        connection, meter, translator or SQLTranslator(), registry, batch_size, retry
+        connection,
+        meter,
+        translator or SQLTranslator(),
+        registry,
+        batch_size,
+        retry,
+        parallel,
     )
-    root = compiler.build(plan)
+    root = compiler.build_root(plan)
     execution_plan = ExecutionPlan(
         steps=compiler.steps + [root],
         transfers_down=compiler.transfers_down,
@@ -157,6 +196,7 @@ class _Compiler:
         registry: dict[int, Operator] | None = None,
         batch_size: int | None = None,
         retry=None,
+        parallel=None,
     ):
         self._connection = connection
         self._meter = meter
@@ -164,6 +204,7 @@ class _Compiler:
         self._registry = registry
         self._batch_size = max(1, batch_size) if batch_size is not None else None
         self._retry = retry
+        self._parallel = parallel
         #: Steps that must be initialized before the output cursor, in order.
         self.steps: list[Cursor] = []
         self.transfers_down: list[TransferDCursor] = []
@@ -177,26 +218,89 @@ class _Compiler:
             self._registry[id(cursor)] = node
         return cursor
 
+    def build_root(self, node: Operator) -> Cursor:
+        """Cursor for the plan root — the one place parallelism applies.
+
+        With a :class:`~repro.core.partition.ParallelContext` attached, a
+        partitionable pipeline compiles into an exchange over per-partition
+        pipelines; anything else (or any analysis/statistics bail-out)
+        falls through to the plain serial :meth:`build`.
+        """
+        if self._parallel is not None:
+            exchange = self._try_parallel(node)
+            if exchange is not None:
+                return exchange
+        return self.build(node)
+
+    def _try_parallel(self, root: Operator) -> Cursor | None:
+        from repro.core.partition import (
+            partitionable_pipeline,
+            partition_spec_for,
+        )
+
+        found = partitionable_pipeline(root)
+        if found is None:
+            return None
+        transfer, attribute = found
+        spec = partition_spec_for(transfer, attribute, self._parallel)
+        if spec is None or spec.degree < 2:
+            return None
+        merge_keys: tuple[str, ...] = ()
+        if spec.strategy == "range":
+            # TRANSFER^M fan-out: one SQL per partition range, each pulled
+            # over its own pooled connection.  Cut-point order makes plain
+            # concatenation reproduce the delivered sort order.
+            if self._parallel.pool is None:
+                return None
+            self._prepare_transfers_down(transfer.input)
+            leaves: list[Cursor] = [
+                self._register(
+                    PooledSQLCursor(self._parallel.pool, sql, retry=self._retry),
+                    transfer,
+                )
+                for sql in self._partition_sqls(transfer, spec)
+            ]
+        else:
+            # Hash strategy: one serial transfer, dealt to the partitions
+            # in the middleware; reassembly needs the k-way merge on the
+            # delivered order (partition-index tie-break keeps it
+            # deterministic).
+            merge_keys = tuple(root.order())
+            if not merge_keys:
+                return None
+            serial = self._register(self._build_transfer_m(transfer), transfer)
+            splitter = RepartitionCursor(serial, spec)
+            leaves = list(splitter.outputs)
+            for leaf in leaves:
+                self._register(leaf, transfer)
+        pipelines = [
+            self._build_partition_pipeline(root, transfer, leaf) for leaf in leaves
+        ]
+        exchange = ExchangeCursor(
+            pipelines, self._parallel.workers, merge_keys=merge_keys
+        )
+        return self._register(exchange, root)
+
+    def _build_partition_pipeline(
+        self, node: Operator, transfer: TransferM, leaf: Cursor
+    ) -> Cursor:
+        """Clone the unary middleware chain above *transfer* onto *leaf*."""
+        if node is transfer:
+            return leaf
+        return self._make_unary(
+            node, self._build_partition_pipeline(node.input, transfer, leaf)
+        )
+
     def build(self, node: Operator) -> Cursor:
         """Cursor for a middleware-located operator."""
         if isinstance(node, TransferM):
             return self._register(self._build_transfer_m(node), node)
-        if isinstance(node, Select):
-            cursor = FilterCursor(self.build(node.input), node.predicate, self._meter)
-        elif isinstance(node, Project):
-            cursor = ProjectCursor(self.build(node.input), node.outputs, self._meter)
-        elif isinstance(node, Sort):
-            cursor = SortCursor(self.build(node.input), node.keys, self._meter)
-        elif isinstance(node, TemporalAggregate):
-            cursor = TemporalAggregateCursor(
-                self.build(node.input),
-                node.group_by,
-                node.aggregates,
-                node.period,
-                self._meter,
-            )
-        elif isinstance(node, TemporalJoin):
-            cursor = TemporalJoinCursor(
+        if isinstance(
+            node, (Select, Project, Sort, TemporalAggregate, Dedup, Coalesce)
+        ):
+            return self._make_unary(node, self.build(node.input))
+        if isinstance(node, TemporalJoin):
+            cursor: Cursor = TemporalJoinCursor(
                 self.build(node.left),
                 self.build(node.right),
                 node.left_attr,
@@ -213,10 +317,6 @@ class _Compiler:
                 node.residual,
                 self._meter,
             )
-        elif isinstance(node, Dedup):
-            cursor = DedupCursor(self.build(node.input), meter=self._meter)
-        elif isinstance(node, Coalesce):
-            cursor = CoalesceCursor(self.build(node.input), node.period, self._meter)
         elif isinstance(node, Difference):
             cursor = DifferenceCursor(
                 self.build(node.left), self.build(node.right), self._meter
@@ -226,6 +326,30 @@ class _Compiler:
                 f"{node.name} at {node.location.value} cannot start a middleware "
                 "pipeline (expected a T^M boundary below it)"
             )
+        return self._register(cursor, node)
+
+    def _make_unary(self, node: Operator, input_cursor: Cursor) -> Cursor:
+        """Cursor for one unary middleware operator over *input_cursor*."""
+        if isinstance(node, Select):
+            cursor: Cursor = FilterCursor(input_cursor, node.predicate, self._meter)
+        elif isinstance(node, Project):
+            cursor = ProjectCursor(input_cursor, node.outputs, self._meter)
+        elif isinstance(node, Sort):
+            cursor = SortCursor(input_cursor, node.keys, self._meter)
+        elif isinstance(node, TemporalAggregate):
+            cursor = TemporalAggregateCursor(
+                input_cursor,
+                node.group_by,
+                node.aggregates,
+                node.period,
+                self._meter,
+            )
+        elif isinstance(node, Dedup):
+            cursor = DedupCursor(input_cursor, meter=self._meter)
+        elif isinstance(node, Coalesce):
+            cursor = CoalesceCursor(input_cursor, node.period, self._meter)
+        else:  # pragma: no cover - callers dispatch on the same types
+            raise PlanError(f"{node.name} is not a unary middleware operator")
         return self._register(cursor, node)
 
     def _build_transfer_m(self, node: TransferM) -> SQLCursor:
@@ -238,6 +362,15 @@ class _Compiler:
         self._prepare_transfers_down(node.input)
         sql = self._translator.translate(node.input, self._temp_names)
         return SQLCursor(self._connection, sql, retry=self._retry)
+
+    def _partition_sqls(self, transfer: TransferM, spec) -> list[str]:
+        """Per-partition SQL for a fanned-out ``TRANSFER^M``."""
+        return [
+            self._translator.translate_partition(
+                transfer.input, self._temp_names, predicate
+            )
+            for predicate in spec.predicates_sql("TPART")
+        ]
 
     def _prepare_transfers_down(self, node: Operator) -> None:
         if isinstance(node, TransferD):
@@ -256,6 +389,9 @@ class _Compiler:
                     if self._batch_size is not None
                     else DEFAULT_LOAD_CHUNK,
                     retry=self._retry,
+                    # Overlap executemany of chunk k with production of
+                    # chunk k+1 whenever the session opted into parallelism.
+                    pipelined=self._parallel is not None,
                 )
                 self._register(transfer, node)
                 self.steps.append(transfer)

@@ -50,7 +50,7 @@ from repro.core.translator import SQLTranslator
 from repro.dbms.database import MiniDB
 from repro.errors import DatabaseError, RetryExhaustedError
 from repro.dbms.costmodel import CostMeter
-from repro.dbms.jdbc import Connection
+from repro.dbms.jdbc import Connection, ConnectionPool
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy, RetryState
 from repro.obs.explain import ExplainAnalyzeReport, build_report
@@ -102,6 +102,20 @@ class TangoConfig:
     #: re-execute the Section 3.1 initial plan (all processing in the
     #: DBMS) instead of surfacing the error.
     fallback: bool = True
+    #: Maximum partitions (and producer threads) a plan may fan out to.
+    #: 1 is the paper-faithful serial engine — plans, traces, and results
+    #: are byte-for-byte what they were without the exchange layer.
+    workers: int = 1
+    #: How partitionable pipelines split: ``"range"`` fans the shipped
+    #: ``TRANSFER^M`` SELECT out into per-range predicates pulled over
+    #: pooled connections; ``"hash"`` keeps one serial transfer and deals
+    #: rows to the partitions in the middleware.
+    partition_strategy: str = "range"
+    #: Simulated wire latency per DBMS round trip (seconds).  0.0 models a
+    #: co-located DBMS; a positive value models the paper's remote-DBMS
+    #: middleware setting, where concurrent partition fetches genuinely
+    #: overlap (used by the parallel benchmark).
+    network_latency_seconds: float = 0.0
 
 
 #: The old Tango(...) keyword arguments now living in TangoConfig.
@@ -210,7 +224,9 @@ class Tango:
             prefetch=self.config.prefetch,
             metrics=self.metrics,
             injector=fault_injector,
+            latency_seconds=self.config.network_latency_seconds,
         )
+        self._pool: ConnectionPool | None = None
         #: Meter charged by middleware algorithms (separate from the DBMS's).
         self.middleware_meter = middleware_meter or CostMeter()
         self.collector = StatisticsCollector(self.connection)
@@ -241,9 +257,41 @@ class Tango:
     def optimizer(self) -> Optimizer:
         if self._optimizer is None:
             self._optimizer = Optimizer(
-                self.estimator, self.factors, tracer=self.tracer
+                self.estimator,
+                self.factors,
+                tracer=self.tracer,
+                parallel_degree=self.config.workers,
             )
         return self._optimizer
+
+    @property
+    def pool(self) -> ConnectionPool:
+        """The connection pool partition fan-out draws from (lazy)."""
+        if self._pool is None:
+            self._pool = ConnectionPool(
+                self.db,
+                size=max(1, self.config.workers),
+                prefetch=self.config.prefetch,
+                metrics=self.metrics,
+                injector=self.fault_injector,
+                latency_seconds=self.config.network_latency_seconds,
+            )
+        return self._pool
+
+    def _parallel_context(self):
+        """A :class:`~repro.core.partition.ParallelContext` when this
+        instance runs parallel plans; None (strictly serial compile paths)
+        at ``workers=1``."""
+        if self.config.workers <= 1:
+            return None
+        from repro.core.partition import ParallelContext
+
+        return ParallelContext(
+            workers=self.config.workers,
+            strategy=self.config.partition_strategy,
+            estimator=self.estimator,
+            pool=self.pool,
+        )
 
     def refresh_statistics(self, tables: list[str] | None = None) -> None:
         """Re-ANALYZE base relations and drop cached statistics.
@@ -297,6 +345,8 @@ class Tango:
         if self._closed:
             return
         self.final_metrics = self.metrics.flush()
+        if self._pool is not None:
+            self._pool.close()
         self.connection.close()
         self._closed = True
 
@@ -344,11 +394,19 @@ class Tango:
         """A fresh per-execution retry budget under the configured policy."""
         return RetryState(self.config.retry, metrics=self.metrics)
 
-    def execute_plan(self, plan: Operator, retry: RetryState | None = None) -> QueryResult:
+    def execute_plan(
+        self,
+        plan: Operator,
+        retry: RetryState | None = None,
+        parallel: bool = True,
+    ) -> QueryResult:
         """Execute a complete (validated) plan tree.
 
         *retry* is the per-query retry budget; callers executing one plan
-        directly can omit it (a fresh budget is created).  Transient DBMS
+        directly can omit it (a fresh budget is created).  *parallel* may
+        be set to False to force serial compilation even when
+        ``config.workers > 1`` (the fallback path does, for maximum
+        failure resistance).  Transient DBMS
         failures inside the transfer operators are retried under
         ``config.retry``; ``config.deadline_seconds`` bounds the
         execution's wall time.
@@ -364,6 +422,7 @@ class Tango:
                 self.translator,
                 batch_size=self.config.batch_size,
                 retry=retry,
+                parallel=self._parallel_context() if parallel else None,
             )
             span.set(steps=len(execution_plan.steps))
         outcome = self.engine.execute(
@@ -426,19 +485,23 @@ class Tango:
 
         The all-DBMS shape is the most failure-resistant plan available:
         it needs no ``TRANSFER^D`` round trips and ships the result in a
-        single ``TRANSFER^M``, with a fresh retry budget of its own.
+        single ``TRANSFER^M``, with a fresh retry budget of its own.  The
+        fallback always compiles serially — a parallel fan-out would
+        multiply the very connections that just proved flaky.
         """
         self.metrics.counter("fallbacks").inc()
         with self.tracer.span(
             "fallback", kind="fallback", error=str(error), retries=error.retries
         ):
             initial = self.parse(sql)
-            return self.execute_plan(initial)
+            return self.execute_plan(initial, parallel=False)
 
     def explain(self, sql: str) -> str:
         """The chosen plan and its cost breakdown, without executing."""
         optimization = self.optimize(sql)
-        coster = PlanCoster(self.estimator, self.factors)
+        coster = PlanCoster(
+            self.estimator, self.factors, parallel_degree=self.config.workers
+        )
         lines = [optimization.explain(), "", "cost breakdown (us):"]
         for label, cost in coster.breakdown(optimization.plan):
             lines.append(f"  {cost:12.1f}  {label}")
@@ -464,6 +527,7 @@ class Tango:
             registry=registry,
             batch_size=self.config.batch_size,
             retry=self._retry_state(),
+            parallel=self._parallel_context(),
         )
         outcome = self.engine.execute(
             execution_plan,
@@ -473,7 +537,9 @@ class Tango:
             deadline_seconds=self.config.deadline_seconds,
         )
         self._record_execution(outcome)
-        coster = PlanCoster(self.estimator, self.factors)
+        coster = PlanCoster(
+            self.estimator, self.factors, parallel_degree=self.config.workers
+        )
         return build_report(
             outcome.trace,
             registry,
@@ -513,4 +579,6 @@ class Tango:
 
     def plan_cost(self, plan: Operator) -> float:
         """Estimated cost of an arbitrary plan under current statistics."""
-        return PlanCoster(self.estimator, self.factors).cost(plan)
+        return PlanCoster(
+            self.estimator, self.factors, parallel_degree=self.config.workers
+        ).cost(plan)

@@ -68,6 +68,38 @@ class SQLTranslator:
             sql += "\nORDER BY " + ", ".join(order_by)
         return sql
 
+    def translate_partition(
+        self,
+        plan: Operator,
+        temp_tables: dict[int, str] | None,
+        predicate: str,
+    ) -> str:
+        """SQL for one partition of a fanned-out ``TRANSFER^M``.
+
+        Wraps the subtree's SQL in one more SELECT layer restricted to
+        *predicate* (a range condition on the partition attribute,
+        rendered against alias ``TPART``), keeping the top-level
+        ``ORDER BY`` outermost so every partition arrives in delivered
+        order and concatenation in cut-point order reproduces the global
+        order.
+        """
+        if plan.location is not Location.DBMS:
+            raise PlanError(
+                f"cannot translate {plan.name} at {plan.location.value} to SQL"
+            )
+        context = _Context(temp_tables or {})
+        order_by: tuple[str, ...] = ()
+        body = plan
+        if isinstance(plan, Sort):
+            order_by = plan.keys
+            body = plan.input
+        sql = (
+            f"SELECT *\nFROM ({context.render(body)}) TPART\nWHERE {predicate}"
+        )
+        if order_by:
+            sql += "\nORDER BY " + ", ".join(order_by)
+        return sql
+
 
 class _Context:
     def __init__(self, temp_tables: dict[int, str]):

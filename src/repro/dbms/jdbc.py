@@ -11,6 +11,8 @@ row-prefetch setting visibly affects ``TRANSFER^M`` — the ablation benchmark
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Iterator, Sequence
 
 from repro.algebra.schema import Schema
@@ -61,9 +63,20 @@ class Cursor:
 
     # -- statement execution ------------------------------------------------------
 
+    @property
+    def round_trips(self) -> int:
+        """Round trips paid by *this* cursor's current result set.
+
+        Per-cursor by construction — pooled connections hand concurrent
+        partition cursors out of one pool, and a shared counter would
+        double-charge whichever cursor read it last.
+        """
+        return self._round_trips
+
     def execute(self, sql: str) -> "Cursor":
         self._check_usable()
         self._connection._inject("execute")
+        self._connection._simulate_wire()
         db = self._connection.db
         outcome = db.execute(sql)
         if isinstance(outcome, ResultSet):
@@ -106,6 +119,7 @@ class Cursor:
         """
         assert self._iterator is not None
         self._connection._inject("round_trip")
+        self._connection._simulate_wire()
         batch: list[tuple] = []
         row_width = self.schema.row_width
         for row in self._iterator:
@@ -220,17 +234,28 @@ class Connection:
         prefetch: int = DEFAULT_PREFETCH,
         metrics: MetricsRegistry | None = None,
         injector: FaultInjector | None = None,
+        latency_seconds: float = 0.0,
     ):
         self.db = db
         self.prefetch = prefetch
         self.metrics = metrics
         self.injector = injector
+        #: Simulated wire latency per DBMS round trip.  0.0 (the default)
+        #: changes nothing; a positive value sleeps — i.e. releases the
+        #: GIL — on every statement/refill/load, modelling the remote-DBMS
+        #: setting of the paper where concurrent connections actually
+        #: overlap.  The parallel benchmark runs with this enabled.
+        self.latency_seconds = latency_seconds
         self._loader = DirectPathLoader(db)
         self._closed = False
 
     def _inject(self, op: str) -> None:
         if self.injector is not None:
             self.injector.before(op)
+
+    def _simulate_wire(self) -> None:
+        if self.latency_seconds > 0.0:
+            time.sleep(self.latency_seconds)
 
     @property
     def closed(self) -> bool:
@@ -260,6 +285,7 @@ class Connection:
         if self._closed:
             raise DatabaseError("connection is closed")
         self._inject("load_chunk")
+        self._simulate_wire()
         loaded = self._loader.load(table_name, schema, rows, order)
         if self.metrics is not None:
             self.metrics.counter("dbms_rows_loaded").inc(loaded)
@@ -270,6 +296,7 @@ class Connection:
         if self._closed:
             raise DatabaseError("connection is closed")
         self._inject("execute")
+        self._simulate_wire()
         self._loader.create(table_name, schema)
 
     def executemany(
@@ -289,6 +316,7 @@ class Connection:
         if self._closed:
             raise DatabaseError("connection is closed")
         self._inject("load_chunk")
+        self._simulate_wire()
         loaded = self._loader.append(table_name, schema, rows, order)
         if self.metrics is not None:
             self.metrics.counter("dbms_rows_loaded").inc(loaded)
@@ -299,3 +327,73 @@ class Connection:
         # No fault injection here: end-of-query cleanup must stay reliable,
         # or chaos runs would leak the temp tables they exist to clean up.
         self._loader.unload(table_name)
+
+
+class ConnectionPool:
+    """A small fixed-size pool of connections to one MiniDB instance.
+
+    ``TRANSFER^M`` fan-out pulls its partitions over concurrent
+    connections drawn from here.  Connections are created lazily up to
+    *size*; :meth:`release` parks a connection for reuse (or closes it if
+    the pool was closed meanwhile).  All connections share the pool's
+    metrics registry and fault injector, so chaos and accounting see
+    partition traffic exactly like serial traffic.
+    """
+
+    def __init__(
+        self,
+        db: MiniDB,
+        size: int,
+        prefetch: int = DEFAULT_PREFETCH,
+        metrics: MetricsRegistry | None = None,
+        injector: FaultInjector | None = None,
+        latency_seconds: float = 0.0,
+    ):
+        self.db = db
+        self.size = max(1, size)
+        self.prefetch = prefetch
+        self.metrics = metrics
+        self.injector = injector
+        self.latency_seconds = latency_seconds
+        self._lock = threading.Lock()
+        self._idle: list[Connection] = []
+        self._closed = False
+
+    def acquire(self) -> Connection:
+        """An idle connection, or a fresh one.
+
+        Never blocks and never fails on load: a burst beyond *size*
+        (e.g. two parallel queries on one Tango) gets overflow
+        connections, which :meth:`release` then closes instead of
+        parking — the pool's steady state stays at *size*.
+        """
+        with self._lock:
+            if self._closed:
+                raise DatabaseError("connection pool is closed")
+            if self._idle:
+                return self._idle.pop()
+        return Connection(
+            self.db,
+            prefetch=self.prefetch,
+            metrics=self.metrics,
+            injector=self.injector,
+            latency_seconds=self.latency_seconds,
+        )
+
+    def release(self, connection: Connection) -> None:
+        with self._lock:
+            if (
+                not self._closed
+                and not connection.closed
+                and len(self._idle) < self.size
+            ):
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()

@@ -43,6 +43,8 @@ class OperatorMeasurement:
     batches: int | None = None
     #: Transient-fault retries this transfer spent (0/None = none).
     retries: int | None = None
+    #: Producer threads of an exchange operator (None = not an exchange).
+    workers: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -57,6 +59,7 @@ class OperatorMeasurement:
             "next_calls": self.next_calls,
             "batches": self.batches,
             "retries": self.retries,
+            "workers": self.workers,
         }
 
 
@@ -95,10 +98,15 @@ class ExplainAnalyzeReport:
             label = "  " * m.depth + m.algorithm
             if m.operator:
                 label += f"  {m.operator}"
+            # Markers survive truncation: trim the operator text first.
+            markers = ""
             if m.retries:
-                label += f"  [retries={m.retries}]"
-            if len(label) > 44:
-                label = label[:41] + "..."
+                markers += f"  [retries={m.retries}]"
+            if m.workers:
+                markers += f"  [workers={m.workers}]"
+            if len(label) + len(markers) > 44:
+                label = label[: max(0, 41 - len(markers))] + "..."
+            label += markers
             est_rows = f"{m.estimated_rows:.0f}" if m.estimated_rows is not None else "-"
             est_cost = (
                 f"{m.estimated_cost_us:.1f}" if m.estimated_cost_us is not None else "-"
@@ -134,7 +142,7 @@ def build_report(
     measurements: list[OperatorMeasurement] = []
 
     def visit(span: Span, depth: int) -> None:
-        if span.kind not in ("cursor", "transfer"):
+        if span.kind not in ("cursor", "transfer", "exchange"):
             for child in span.children:
                 visit(child, depth)
             return
@@ -151,7 +159,8 @@ def build_report(
             child_time = sum(
                 child.elapsed_seconds
                 for child in span.children
-                if child.kind in ("cursor", "transfer") and child.seconds is not None
+                if child.kind in ("cursor", "transfer", "exchange")
+                and child.seconds is not None
             )
             actual_self = max(0.0, actual_total - child_time * 1e6)
             next_calls = span.attributes.get("next_calls")
@@ -171,6 +180,7 @@ def build_report(
                 next_calls=next_calls,
                 batches=span.attributes.get("batches"),
                 retries=span.attributes.get("retries"),
+                workers=span.attributes.get("workers"),
             )
         )
         for child in span.children:

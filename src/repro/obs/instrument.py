@@ -21,13 +21,17 @@ import time
 
 from repro.obs.tracing import Span
 from repro.xxl.cursor import Cursor
+from repro.xxl.exchange import ExchangeCursor
 from repro.xxl.sources import SQLCursor
 from repro.xxl.transfer import TransferDCursor
 
 #: Figure 5 display names per cursor class (shared with plan rendering).
 ALGORITHM_NAMES = {
     "SQLCursor": "TRANSFER^M",
+    "PooledSQLCursor": "TRANSFER^M",
     "TransferDCursor": "TRANSFER^D",
+    "ExchangeCursor": "EXCHANGE",
+    "RepartitionOutput": "REPARTITION",
     "FilterCursor": "FILTER^M",
     "ProjectCursor": "PROJECT^M",
     "SortCursor": "SORT^M",
@@ -238,6 +242,20 @@ def cursor_span(cursor, seen: set[int] | None = None) -> Span | None:
             span.set(retries=raw.retries)
         if span.seconds is None:
             span.seconds = raw.load_seconds
+    elif isinstance(raw, ExchangeCursor):
+        span.kind = "exchange"
+        span.set(
+            partitions=raw.partitions,
+            workers=raw.workers,
+            queue_full_stalls=raw.queue_full_stalls,
+            parallel_efficiency=raw.parallel_efficiency,
+        )
+        # One child span per partition pipeline, tagged with its index.
+        for index, child in enumerate(raw.pipeline_roots):
+            child_span = cursor_span(child, seen)
+            if child_span is not None:
+                child_span.set(partition=index)
+                span.add_child(child_span)
 
     for attribute in CHILD_ATTRIBUTES:
         child = getattr(raw, attribute, None)

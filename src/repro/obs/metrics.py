@@ -14,20 +14,29 @@ same structured-output discipline as :mod:`repro.obs.tracing`.
 
 from __future__ import annotations
 
+import threading
+
 
 class Counter:
-    """A monotonically increasing named count."""
+    """A monotonically increasing named count.
 
-    __slots__ = ("name", "value")
+    Thread-safe: exchange producer threads and pooled connections all
+    report into the same instruments, and ``+=`` on a plain attribute can
+    lose increments across an interleaving.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only move forward")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self.value})"
@@ -36,7 +45,7 @@ class Counter:
 class Histogram:
     """Streaming summary of observed values: count/total/min/max/mean."""
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -44,14 +53,16 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
@@ -76,17 +87,24 @@ class MetricsRegistry:
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(name)
         return instrument
 
     def value(self, name: str) -> int | float:

@@ -75,6 +75,10 @@ class CostFactors:
     p_sortd: float = 0.002   # DBMS sort per byte per log2(cardinality)
     p_joind: float = 0.010   # generic DBMS join per byte touched
     p_prodd: float = 0.008   # Cartesian product per output byte
+    # Parallel execution (beyond Figure 6): fixed per-partition startup —
+    # thread dispatch, extra connection, per-partition statement — charged
+    # once per partition, so serial plans keep winning on small inputs.
+    p_par_startup: float = 500.0  # microseconds per partition
 
 
 def predicate_complexity(predicate: Expression) -> float:
@@ -218,15 +222,31 @@ class PlanCoster:
     Walks the tree once; each node contributes its algorithm cost given the
     statistics of its inputs and output (derived by the
     :class:`~repro.stats.cardinality.CardinalityEstimator`).
+
+    With ``parallel_degree > 1`` the Figure 6 formulas gain the parallel
+    terms: partitionable work (transfers and unary middleware operators)
+    scales as ``startup · d + cost / d`` — per-partition scaling plus a
+    fixed startup per partition — while joins and differences (which the
+    compiler keeps serial) are charged unchanged.  ``parallel_degree=1``
+    reproduces the serial formulas exactly.
     """
 
     def __init__(
         self,
         estimator: CardinalityEstimator,
         factors: CostFactors | None = None,
+        parallel_degree: int = 1,
     ):
         self.estimator = estimator
         self.algorithms = AlgorithmCosts(factors or CostFactors())
+        self.parallel_degree = max(1, parallel_degree)
+
+    def _parallel(self, cost: float) -> float:
+        """The parallel cost of partitionable work costing *cost* serially."""
+        degree = self.parallel_degree
+        if degree <= 1:
+            return cost
+        return self.algorithms.factors.p_par_startup * degree + cost / degree
 
     def cost(self, plan: Operator) -> float:
         """Total estimated cost of *plan* in microseconds."""
@@ -251,24 +271,28 @@ class PlanCoster:
         if isinstance(plan, Scan):
             return algorithms.scan_d(estimate(plan))
         if isinstance(plan, TransferM):
-            return algorithms.transfer_m(estimate(plan.input))
+            return self._parallel(algorithms.transfer_m(estimate(plan.input)))
         if isinstance(plan, TransferD):
             return algorithms.transfer_d(estimate(plan.input))
         if isinstance(plan, Select):
             if in_middleware:
-                return algorithms.filter_m(plan.predicate, estimate(plan.input))
+                return self._parallel(
+                    algorithms.filter_m(plan.predicate, estimate(plan.input))
+                )
             return 0.0  # selection in the DBMS is free (Section 3.1)
         if isinstance(plan, Project):
             if in_middleware:
-                return algorithms.project_m(estimate(plan.input))
+                return self._parallel(algorithms.project_m(estimate(plan.input)))
             return 0.0  # projection in the DBMS is free (Section 3.1)
         if isinstance(plan, Sort):
             if in_middleware:
-                return algorithms.sort_m(estimate(plan.input))
+                return self._parallel(algorithms.sort_m(estimate(plan.input)))
             return algorithms.sort_d(estimate(plan.input))
         if isinstance(plan, TemporalAggregate):
             if in_middleware:
-                return algorithms.taggr_m(estimate(plan.input), estimate(plan))
+                return self._parallel(
+                    algorithms.taggr_m(estimate(plan.input), estimate(plan))
+                )
             return algorithms.taggr_d(estimate(plan.input), estimate(plan))
         if isinstance(plan, TemporalJoin):
             left, right = (estimate(child) for child in plan.inputs)
@@ -301,10 +325,10 @@ class PlanCoster:
             return algorithms.product_d(left, right, estimate(plan))
         if isinstance(plan, Dedup):
             if in_middleware:
-                return algorithms.dedup_m(estimate(plan.input))
+                return self._parallel(algorithms.dedup_m(estimate(plan.input)))
             return algorithms.sort_d(estimate(plan.input))
         if isinstance(plan, Coalesce):
-            return algorithms.coalesce_m(estimate(plan.input))
+            return self._parallel(algorithms.coalesce_m(estimate(plan.input)))
         if isinstance(plan, Difference):
             left, right = (estimate(child) for child in plan.inputs)
             return algorithms.difference_m(left, right)

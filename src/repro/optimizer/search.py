@@ -86,9 +86,10 @@ class Optimizer:
         max_passes: int = 12,
         max_elements: int = 40_000,
         tracer: Tracer | None = None,
+        parallel_degree: int = 1,
     ):
         self.estimator = estimator
-        self.coster = PlanCoster(estimator, factors)
+        self.coster = PlanCoster(estimator, factors, parallel_degree=parallel_degree)
         self.rules = rules if rules is not None else default_rules()
         self.max_passes = max_passes
         self.max_elements = max_elements

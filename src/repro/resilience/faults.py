@@ -27,6 +27,7 @@ call has no partial effect and is always safe to retry.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 
@@ -82,6 +83,12 @@ class FaultInjector:
         self.faults_injected = 0
         self.latency_spikes = 0
         self._dropped = False
+        # One injector is shared by every connection of a pool; the seeded
+        # Random and the call counters must not interleave mid-draw.  The
+        # schedule stays deterministic per *draw sequence* — under parallel
+        # execution which thread gets which draw depends on timing, but the
+        # fault *rate* and counters remain exact.
+        self._lock = threading.Lock()
 
     @property
     def dropped(self) -> bool:
@@ -113,23 +120,35 @@ class FaultInjector:
         spikes.  Raising before the work means a faulted call did nothing,
         so retrying it cannot double-apply an effect.
         """
-        self.calls += 1
         policy = self.policy
-        if policy.drop_after is not None and self.calls > policy.drop_after:
-            self._dropped = True
-        if self._dropped:
+        spike = False
+        fault = False
+        # Decide under the lock; sleep and raise outside it so a latency
+        # spike on one pooled connection never stalls its siblings.
+        with self._lock:
+            self.calls += 1
+            calls = self.calls
+            if policy.drop_after is not None and calls > policy.drop_after:
+                self._dropped = True
+            dropped = self._dropped
+            if not dropped:
+                if policy.latency_p > 0 and self._random.random() < policy.latency_p:
+                    self.latency_spikes += 1
+                    spike = True
+                p = policy.probability_for(op)
+                if p > 0 and self._random.random() < p:
+                    self.faults_injected += 1
+                    fault = True
+        if dropped:
             raise ConnectionDroppedError(
                 f"injected connection drop (after {policy.drop_after} calls)"
             )
-        if policy.latency_p > 0 and self._random.random() < policy.latency_p:
-            self.latency_spikes += 1
+        if spike:
             if self.metrics is not None:
                 self.metrics.counter("latency_spikes").inc()
             if policy.latency_seconds > 0:
                 self._sleep(policy.latency_seconds)
-        p = policy.probability_for(op)
-        if p > 0 and self._random.random() < p:
-            self.faults_injected += 1
+        if fault:
             if self.metrics is not None:
                 self.metrics.counter("faults_injected").inc()
-            raise TransientError(f"injected transient fault on {op} (call {self.calls})")
+            raise TransientError(f"injected transient fault on {op} (call {calls})")

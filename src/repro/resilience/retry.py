@@ -15,6 +15,7 @@ chaos tests stay reproducible while distinct operations still desynchronize
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from dataclasses import dataclass
@@ -65,6 +66,11 @@ class RetryState:
         self._sleep = sleep
         #: Retries spent so far, all call sites combined.
         self.retries = 0
+        # One state is shared by every transfer cursor of a plan — under
+        # parallel execution those cursors live on different exchange
+        # threads, so the check-then-spend on the budget must be atomic or
+        # concurrent partitions could overdraw it.
+        self._lock = threading.Lock()
 
     @property
     def budget_left(self) -> int:
@@ -86,14 +92,20 @@ class RetryState:
                 return fn()
             except TransientError as error:
                 attempt += 1
-                if attempt >= self.policy.max_attempts or self.budget_left <= 0:
+                with self._lock:
+                    exhausted = (
+                        attempt >= self.policy.max_attempts
+                        or self.budget_left <= 0
+                    )
+                    if not exhausted:
+                        self.retries += 1
+                if exhausted:
                     raise RetryExhaustedError(
                         f"{op or 'DBMS call'} still failing after "
                         f"{attempt} attempt(s) ({self.retries} query retries spent): "
                         f"{error}",
                         retries=self.retries,
                     ) from error
-                self.retries += 1
                 if self.metrics is not None:
                     self.metrics.counter("retries").inc()
                 if on_retry is not None:

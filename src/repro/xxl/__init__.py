@@ -20,7 +20,8 @@ optimizer's list-equivalence rules rely on.
 """
 
 from repro.xxl.cursor import BatchReader, Cursor, DEFAULT_BATCH_SIZE, materialize
-from repro.xxl.sources import RelationCursor, SQLCursor
+from repro.xxl.exchange import ExchangeCursor, PartitionSpec, RepartitionCursor
+from repro.xxl.sources import PooledSQLCursor, RelationCursor, SQLCursor
 from repro.xxl.filter import FilterCursor
 from repro.xxl.project import ProjectCursor
 from repro.xxl.sort import SortCursor
@@ -37,7 +38,11 @@ __all__ = [
     "Cursor",
     "DEFAULT_BATCH_SIZE",
     "materialize",
+    "ExchangeCursor",
+    "PartitionSpec",
+    "PooledSQLCursor",
     "RelationCursor",
+    "RepartitionCursor",
     "SQLCursor",
     "FilterCursor",
     "ProjectCursor",

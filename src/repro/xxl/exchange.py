@@ -1,0 +1,562 @@
+"""Partition-parallel execution: exchange, repartition, and merge.
+
+The paper's Execution Engine (Figure 2) is strictly serial: wall-clock time
+is the *sum* of DBMS fetch time and middleware CPU.  This module adds the
+classic exchange-operator design (Graefe's Volcano) on top of the cursor
+protocol so a middleware pipeline can run as *k* independent partitions:
+
+* :class:`PartitionSpec` describes how rows split — ``range`` on an
+  attribute (cut points picked from the Section 3.3 histograms, so the
+  DBMS-side ``SELECT`` fans out into per-partition predicates) or ``hash``
+  on a grouping attribute (middleware-side repartitioning);
+* :class:`RepartitionCursor` routes one serial input stream into
+  per-partition output cursors (the hash strategy's splitter);
+* :class:`ExchangeCursor` fans the per-partition pipelines out across a
+  bounded thread pool with backpressure-bounded per-partition queues, and
+  reassembles the delivered sort order — by concatenating range partitions
+  in cut-point order, or by an order-preserving k-way merge on the
+  delivered sort key for hash partitions.
+
+Everything here is strictly opt-in: plans compiled without a
+:class:`~repro.core.partition.ParallelContext` (``TangoConfig.workers=1``)
+never touch this module, so the serial engine stays byte-for-byte the
+paper's.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from bisect import bisect_right
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from queue import Empty, Full, Queue
+
+from repro.algebra.schema import Schema
+from repro.errors import ExecutionError
+from repro.stats.collector import AttributeStats, RelationStats
+from repro.xxl.cursor import Cursor
+
+#: Batches each partition queue buffers before its producer blocks
+#: (the backpressure bound: memory per partition ≤ queue_batches × batch).
+DEFAULT_QUEUE_BATCHES = 4
+
+#: Producers and the consumer poll their queues at this granularity so a
+#: cancellation (sibling failure, deadline, teardown) is noticed promptly.
+_POLL_SECONDS = 0.02
+
+#: Estimated rows below which a partition is not worth its startup cost.
+MIN_PARTITION_ROWS = 128
+
+
+def _sql_literal(value: float) -> str:
+    """Render a cut point as an SQL literal (integral floats as ints, so
+    predicates over INT/DATE columns read naturally)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How one stream of rows splits into ``degree`` partitions.
+
+    ``range``: partition *i* holds rows whose ``attribute`` value falls in
+    ``[cut_points[i-1], cut_points[i])`` (open-ended at both extremes), so
+    concatenating partitions in order preserves any sort order led by
+    ``attribute``.  ``hash``: rows route by ``hash(value) % degree`` —
+    every distinct value (every TAGGR^M group) lands wholly in one
+    partition, but reassembly needs a merge on the delivered order.
+    """
+
+    attribute: str
+    strategy: str  # "range" | "hash"
+    degree: int
+    cut_points: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("range", "hash"):
+            raise ExecutionError(f"unknown partition strategy {self.strategy!r}")
+        if self.degree < 1:
+            raise ExecutionError("partition degree must be >= 1")
+        if self.strategy == "range":
+            if len(self.cut_points) != self.degree - 1:
+                raise ExecutionError(
+                    "range partitioning needs degree-1 cut points"
+                )
+            if any(
+                b <= a for a, b in zip(self.cut_points, self.cut_points[1:])
+            ):
+                raise ExecutionError("cut points must be strictly increasing")
+
+    def assign(self, value) -> int:
+        """Partition index for one attribute value."""
+        if self.strategy == "hash":
+            return hash(value) % self.degree
+        return bisect_right(self.cut_points, value)
+
+    def bounds(self, index: int) -> tuple[float | None, float | None]:
+        """Half-open ``[lo, hi)`` range of partition *index* (None = open)."""
+        lo = self.cut_points[index - 1] if index > 0 else None
+        hi = self.cut_points[index] if index < self.degree - 1 else None
+        return lo, hi
+
+    def predicates_sql(self, alias: str) -> list[str]:
+        """One SQL predicate per partition over ``alias.attribute`` — the
+        TRANSFER^M fan-out's per-partition WHERE clauses.  The predicates
+        cover every value whatever the statistics said, so stale histograms
+        can only unbalance the partitions, never lose rows."""
+        if self.strategy != "range":
+            raise ExecutionError("only range partitions translate to SQL")
+        column = f"{alias}.{self.attribute}"
+        predicates = []
+        for index in range(self.degree):
+            lo, hi = self.bounds(index)
+            parts = []
+            if lo is not None:
+                parts.append(f"{column} >= {_sql_literal(lo)}")
+            if hi is not None:
+                parts.append(f"{column} < {_sql_literal(hi)}")
+            predicates.append(" AND ".join(parts) if parts else "1 = 1")
+        return predicates
+
+
+def equal_count_cut_points(histogram, degree: int) -> list[float]:
+    """Invert ``values_below`` to find cut points splitting the histogram
+    into *degree* equal-count ranges (the Section 3.3 estimator reused as
+    a partition balancer)."""
+    total = histogram.total
+    if total <= 0 or degree < 2:
+        return []
+    points: list[float] = []
+    for i in range(1, degree):
+        target = total * i / degree
+        below = 0.0
+        value = histogram.bounds[-1]
+        for bucket in range(histogram.num_buckets):
+            count = histogram.b_val(bucket)
+            if below + count >= target:
+                width = histogram.b2(bucket) - histogram.b1(bucket)
+                fraction = (target - below) / count if count else 0.0
+                value = histogram.b1(bucket) + fraction * width
+                break
+            below += count
+        points.append(value)
+    return points
+
+
+def _strictly_increasing(points: list[float]) -> tuple[float, ...]:
+    kept: list[float] = []
+    for point in points:
+        if not kept or point > kept[-1]:
+            kept.append(point)
+    return tuple(kept)
+
+
+def range_partition_spec(
+    attribute: str,
+    stats: RelationStats,
+    degree: int,
+    min_rows: int = MIN_PARTITION_ROWS,
+) -> PartitionSpec | None:
+    """A balanced range :class:`PartitionSpec`, or None when partitioning
+    is not worthwhile (too few rows, too few distinct values, no usable
+    statistics).  Cut points come from the attribute's histogram when one
+    exists (equal-count split), else from a uniform min/max split."""
+    if degree < 2:
+        return None
+    capacity = int(stats.cardinality // max(1, min_rows))
+    degree = min(degree, max(1, capacity))
+    attr_stats: AttributeStats = stats.attribute(attribute)
+    if attr_stats.distinct:
+        degree = min(degree, attr_stats.distinct)
+    if degree < 2:
+        return None
+    if attr_stats.histogram is not None and attr_stats.histogram.total > 0:
+        points = equal_count_cut_points(attr_stats.histogram, degree)
+    elif attr_stats.min_value is not None and attr_stats.max_value is not None:
+        lo, hi = float(attr_stats.min_value), float(attr_stats.max_value)
+        if hi <= lo:
+            return None
+        points = [lo + (hi - lo) * i / degree for i in range(1, degree)]
+    else:
+        return None
+    cut_points = _strictly_increasing(points)
+    if not cut_points:
+        return None
+    return PartitionSpec(attribute, "range", len(cut_points) + 1, cut_points)
+
+
+class RepartitionCursor:
+    """Routes one serial input cursor into per-partition output cursors.
+
+    The splitter half of the exchange pair: the hash strategy pulls the
+    whole stream over one ``TRANSFER^M`` and deals rows to the partition
+    pipelines by ``spec.assign``.  Demand-driven and lock-protected — the
+    partition that runs dry pumps the shared input, so no producer thread
+    is needed and a partition's backlog is bounded by how far the merge
+    lets its siblings run ahead.
+    """
+
+    def __init__(self, input: Cursor, spec: PartitionSpec):
+        self._input = input
+        self._spec = spec
+        self._lock = threading.Lock()
+        self._queues: list[deque[tuple]] = [deque() for _ in range(spec.degree)]
+        self._position: int | None = None
+        self._opened = False
+        self._drained = False
+        self._open_outputs = spec.degree
+        self.outputs: list[RepartitionOutput] = [
+            RepartitionOutput(self, index) for index in range(spec.degree)
+        ]
+
+    def _ensure_open(self) -> None:
+        with self._lock:
+            if not self._opened:
+                self._input.init()
+                self._position = self._input.schema.index_of(self._spec.attribute)
+                self._opened = True
+
+    @property
+    def schema(self) -> Schema:
+        return self._input.schema
+
+    def _pump(self, index: int) -> None:
+        """Under the lock: route input batches until partition *index* has
+        rows or the input is drained."""
+        queue = self._queues[index]
+        assign = self._spec.assign
+        position = self._position
+        queues = self._queues
+        while not queue and not self._drained:
+            batch = self._input.next_batch(self._input.batch_size)
+            if not batch:
+                self._drained = True
+                break
+            for row in batch:
+                queues[assign(row[position])].append(row)
+
+    def take(self, index: int, n: int) -> list[tuple]:
+        with self._lock:
+            self._pump(index)
+            queue = self._queues[index]
+            take = min(n, len(queue))
+            return [queue.popleft() for _ in range(take)]
+
+    def release(self) -> None:
+        """One output closed; close the shared input with the last one."""
+        with self._lock:
+            self._open_outputs -= 1
+            last = self._open_outputs <= 0
+        if last:
+            self._input.close()
+
+
+class RepartitionOutput(Cursor):
+    """One partition's face of a :class:`RepartitionCursor`."""
+
+    def __init__(self, owner: RepartitionCursor, index: int):
+        super().__init__(Schema([]))
+        self._owner = owner
+        self.partition_index = index
+
+    def _open(self) -> None:
+        self._owner._ensure_open()
+        self.schema = self._owner.schema
+
+    def _next(self) -> tuple:
+        batch = self._next_batch(1)
+        if not batch:
+            raise StopIteration
+        return batch[0]
+
+    def _next_batch(self, n: int) -> list[tuple]:
+        return self._owner.take(self.partition_index, n)
+
+    def _close(self) -> None:
+        self._owner.release()
+
+
+class _Cancelled(Exception):
+    """Internal: a producer noticed the exchange was cancelled."""
+
+
+class _PartitionStream:
+    """The queue plumbing between one producer thread and the consumer."""
+
+    __slots__ = ("queue", "done", "error", "schema")
+
+    def __init__(self, capacity: int):
+        self.queue: Queue = Queue(maxsize=max(1, capacity))
+        self.done = threading.Event()
+        self.error: BaseException | None = None
+        self.schema: Schema | None = None
+
+
+class _StreamReader:
+    """Row-at-a-time reads over one partition stream (merge mode)."""
+
+    __slots__ = ("_exchange", "_stream", "_batch", "_pos")
+
+    def __init__(self, exchange: "ExchangeCursor", stream: _PartitionStream):
+        self._exchange = exchange
+        self._stream = stream
+        self._batch: list[tuple] = []
+        self._pos = 0
+
+    def read(self) -> tuple | None:
+        while self._pos >= len(self._batch):
+            batch = self._exchange._take(self._stream)
+            if batch is None:
+                return None
+            self._batch = batch
+            self._pos = 0
+        row = self._batch[self._pos]
+        self._pos += 1
+        return row
+
+
+class ExchangeCursor(Cursor):
+    """Runs per-partition pipelines on a bounded thread pool and
+    reassembles one ordered output stream.
+
+    Each pipeline is produced into a backpressure-bounded queue by one
+    task on a ``ThreadPoolExecutor`` of at most ``workers`` threads.  With
+    ``merge_keys=()`` partitions are concatenated in index order (correct
+    for range partitions whose bounds ascend); with merge keys the streams
+    are k-way merged on those attributes (hash partitions), ties broken by
+    partition index so the output is deterministic.
+
+    A failing partition cancels its siblings: the first error is recorded,
+    the cancel event stops every producer, and the error resurfaces from
+    the consumer — the engine's unconditional teardown then closes
+    everything, and ``Tango.query`` falls back to the all-DBMS plan when
+    the shared retry budget was the cause.
+    """
+
+    def __init__(
+        self,
+        pipelines: list[Cursor],
+        workers: int,
+        merge_keys: tuple[str, ...] = (),
+        queue_batches: int = DEFAULT_QUEUE_BATCHES,
+    ):
+        super().__init__(Schema([]))
+        if not pipelines:
+            raise ExecutionError("an exchange needs at least one partition")
+        self.pipeline_roots = list(pipelines)
+        self.partitions = len(self.pipeline_roots)
+        self.workers = max(1, min(workers, self.partitions))
+        self.merge_keys = tuple(merge_keys)
+        self._queue_batches = max(1, queue_batches)
+        #: Producer blocks on a full partition queue (backpressure events).
+        self.queue_full_stalls = 0
+        #: Σ busy seconds / (wall seconds × partitions), computed at close.
+        self.parallel_efficiency = 0.0
+        self._stall_lock = threading.Lock()
+        self._cancel: threading.Event | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._streams: list[_PartitionStream] = []
+        self._busy: list[float] = []
+        self._begin = 0.0
+        self._wall_seconds = 0.0
+        self._pending: deque[tuple] = deque()
+        self._current = 0
+        self._heap: list | None = None
+        self._readers: list[_StreamReader] = []
+        self._key_positions: list[int] = []
+
+    # -- producer side ---------------------------------------------------------------
+
+    def _open(self) -> None:
+        self._cancel = threading.Event()
+        self._streams = [
+            _PartitionStream(self._queue_batches) for _ in self.pipeline_roots
+        ]
+        self._busy = [0.0] * self.partitions
+        self._begin = time.perf_counter()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="tango-exchange"
+        )
+        for index, (pipeline, stream) in enumerate(
+            zip(self.pipeline_roots, self._streams)
+        ):
+            self._executor.submit(self._produce, index, pipeline, stream)
+
+    def _produce(
+        self, index: int, pipeline: Cursor, stream: _PartitionStream
+    ) -> None:
+        busy = 0.0
+        cancel = self._cancel
+        assert cancel is not None
+        try:
+            begin = time.perf_counter()
+            pipeline.init()
+            stream.schema = pipeline.schema
+            busy += time.perf_counter() - begin
+            size = max(1, self.batch_size)
+            while not cancel.is_set():
+                begin = time.perf_counter()
+                batch = pipeline.next_batch(size)
+                busy += time.perf_counter() - begin
+                if not batch:
+                    break
+                self._offer(stream, batch)
+        except _Cancelled:
+            pass
+        except BaseException as error:  # noqa: BLE001 - crosses the thread
+            stream.error = error
+            cancel.set()
+        finally:
+            self._busy[index] = busy
+            try:
+                pipeline.close()
+            except BaseException as error:  # noqa: BLE001
+                if stream.error is None:
+                    stream.error = error
+                    cancel.set()
+            stream.done.set()
+
+    def _offer(self, stream: _PartitionStream, batch: list[tuple]) -> None:
+        queue = stream.queue
+        cancel = self._cancel
+        assert cancel is not None
+        if queue.full():
+            with self._stall_lock:
+                self.queue_full_stalls += 1
+        while True:
+            if cancel.is_set():
+                raise _Cancelled()
+            try:
+                queue.put(batch, timeout=_POLL_SECONDS)
+                return
+            except Full:
+                continue
+
+    # -- consumer side ---------------------------------------------------------------
+
+    def _take(self, stream: _PartitionStream) -> list[tuple] | None:
+        """Next batch from one stream; None when it finished cleanly."""
+        queue = stream.queue
+        while True:
+            if stream.error is not None:
+                raise stream.error
+            try:
+                batch = queue.get(timeout=_POLL_SECONDS)
+            except Empty:
+                if stream.done.is_set():
+                    # The producer sets done after its last put; one final
+                    # non-blocking drain closes the race.
+                    try:
+                        batch = queue.get_nowait()
+                    except Empty:
+                        if stream.error is not None:
+                            raise stream.error
+                        # Even an empty partition publishes its schema (set
+                        # by the producer after pipeline init, before done).
+                        self._adopt_schema(stream)
+                        return None
+                else:
+                    continue
+            self._adopt_schema(stream)
+            return batch
+
+    def _adopt_schema(self, stream: _PartitionStream) -> None:
+        if not len(self.schema) and stream.schema is not None:
+            self.schema = stream.schema
+
+    def _next(self) -> tuple:
+        batch = self._next_batch(1)
+        if not batch:
+            raise StopIteration
+        return batch[0]
+
+    def _next_batch(self, n: int) -> list[tuple]:
+        out: list[tuple] = []
+        pending = self._pending
+        fill = self._fill_merge if self.merge_keys else self._fill_concat
+        while len(out) < n:
+            while pending and len(out) < n:
+                out.append(pending.popleft())
+            if len(out) >= n:
+                break
+            if not fill():
+                break
+        return out
+
+    def _fill_concat(self) -> bool:
+        while self._current < len(self._streams):
+            batch = self._take(self._streams[self._current])
+            if batch is None:
+                self._current += 1
+                continue
+            self._pending.extend(batch)
+            return True
+        return False
+
+    def _fill_merge(self) -> bool:
+        if self._heap is None:
+            self._init_merge()
+        heap = self._heap
+        if not heap:
+            return False
+        key, index, row = heapq.heappop(heap)
+        self._pending.append(row)
+        following = self._readers[index].read()
+        if following is not None:
+            heapq.heappush(heap, (self._merge_key(following), index, following))
+        return True
+
+    def _init_merge(self) -> None:
+        self._readers = [
+            _StreamReader(self, stream) for stream in self._streams
+        ]
+        heads: list[tuple[int, tuple]] = []
+        for index, reader in enumerate(self._readers):
+            row = reader.read()
+            if row is not None:
+                heads.append((index, row))
+        positions = []
+        if heads:  # an all-empty result never needs key positions
+            for name in self.merge_keys:
+                positions.append(self.schema.index_of(name))
+        self._key_positions = positions
+        self._heap = []
+        for index, row in heads:
+            heapq.heappush(self._heap, (self._merge_key(row), index, row))
+
+    def _merge_key(self, row: tuple) -> tuple:
+        return tuple(row[position] for position in self._key_positions)
+
+    # -- teardown --------------------------------------------------------------------
+
+    def _close(self) -> None:
+        if self._cancel is None:
+            # Never initialized: the pipelines were never started either.
+            for pipeline in self.pipeline_roots:
+                try:
+                    pipeline.close()
+                except BaseException:  # noqa: BLE001 - best-effort cleanup
+                    pass
+            return
+        self._cancel.set()
+        # Unblock producers stuck on full queues, then join them.
+        for stream in self._streams:
+            while True:
+                try:
+                    stream.queue.get_nowait()
+                except Empty:
+                    break
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._wall_seconds = time.perf_counter() - self._begin
+        if self._wall_seconds > 0 and self.partitions:
+            efficiency = sum(self._busy) / (self._wall_seconds * self.partitions)
+            self.parallel_efficiency = min(1.0, efficiency)
+        self._pending.clear()
+        self._heap = None
+        self._readers = []

@@ -9,6 +9,7 @@ the connection's row prefetch compose instead of fighting.
 
 from __future__ import annotations
 
+import time
 from itertools import islice
 from typing import Iterable, Iterator, Sequence
 
@@ -73,6 +74,7 @@ class SQLCursor(Cursor):
         #: Transient-fault retries this cursor spent (EXPLAIN ANALYZE shows
         #: the count on the transfer span).
         self.retries = 0
+        self._final_round_trips = 0
         # The schema is only known after execution; initialize lazily with a
         # placeholder and fix it up in _open().
         super().__init__(Schema([]))
@@ -80,6 +82,18 @@ class SQLCursor(Cursor):
     @property
     def sql(self) -> str:
         return self._sql
+
+    @property
+    def round_trips(self) -> int:
+        """DBMS round trips this cursor's result set has paid so far.
+
+        Tracked on the underlying JDBC cursor (never on the connection),
+        so concurrent partition cursors drawing connections from one pool
+        each report exactly their own ``ceil(rows / prefetch)``.
+        """
+        if self._cursor is not None:
+            return self._cursor.round_trips
+        return self._final_round_trips
 
     def _count_retry(self) -> None:
         self.retries += 1
@@ -90,8 +104,6 @@ class SQLCursor(Cursor):
         return self._retry.run(fn, op=op, on_retry=self._count_retry)
 
     def _open(self) -> None:
-        import time
-
         begin = time.perf_counter()
         self._cursor = self._call_dbms(
             lambda: self._connection.cursor(self._prefetch).execute(self._sql),
@@ -101,8 +113,6 @@ class SQLCursor(Cursor):
         self.schema = self._cursor.schema
 
     def _next(self) -> tuple:
-        import time
-
         assert self._cursor is not None
         begin = time.perf_counter()
         row = self._call_dbms(self._cursor.fetchone, "transfer_m.fetch")
@@ -112,8 +122,6 @@ class SQLCursor(Cursor):
         return row
 
     def _next_batch(self, n: int) -> list[tuple]:
-        import time
-
         assert self._cursor is not None
         begin = time.perf_counter()
         batch = self._call_dbms(
@@ -124,8 +132,39 @@ class SQLCursor(Cursor):
 
     def _close(self) -> None:
         if self._cursor is not None:
+            self._final_round_trips = self._cursor.round_trips
             self._cursor.close()
             self._cursor = None
+
+
+class PooledSQLCursor(SQLCursor):
+    """A ``TRANSFER^M`` partition cursor drawing its connection from a
+    :class:`~repro.dbms.jdbc.ConnectionPool`.
+
+    Each partition of a fanned-out transfer runs one of these on its own
+    connection, so concurrent fetches genuinely overlap on the wire.  The
+    connection is acquired at ``init()`` and returned to the pool at
+    ``close()`` (or immediately if acquisition's first statement fails).
+    """
+
+    def __init__(self, pool, sql: str, prefetch: int | None = None, retry=None):
+        super().__init__(None, sql, prefetch=prefetch, retry=retry)
+        self._pool = pool
+
+    def _open(self) -> None:
+        self._connection = self._pool.acquire()
+        try:
+            super()._open()
+        except BaseException:
+            self._pool.release(self._connection)
+            self._connection = None
+            raise
+
+    def _close(self) -> None:
+        super()._close()
+        if self._connection is not None:
+            self._pool.release(self._connection)
+            self._connection = None
 
 
 class IterableCursor(Cursor):

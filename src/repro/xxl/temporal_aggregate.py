@@ -16,6 +16,7 @@ trees of Kline & Snodgrass [13].
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Iterator, Sequence
 
 from repro.algebra.operators import AggregateSpec
@@ -125,7 +126,7 @@ class TemporalAggregateCursor(GeneratorCursor):
         frame per emitted tuple.
         """
         meter = self._meter
-        by_end = sorted(rows, key=lambda row: row[t2_pos])
+        by_end = sorted(rows, key=itemgetter(t2_pos))
         if meter is not None:
             count = len(rows)
             meter.charge_cpu(count * max(1, count.bit_length()))
@@ -168,20 +169,21 @@ class TemporalAggregateCursor(GeneratorCursor):
                 yield key + (previous, instant) + tuple(
                     agg.result() for agg in sliding
                 )
+            # Meter checks are hoisted out of the advance loops: indices
+            # before/after give the exact tuple count to charge at once.
+            s0, e0 = start_index, end_index
             while start_index < total and rows[start_index][t1_pos] == instant:
                 row = rows[start_index]
                 for agg, position in zip(sliding, argument_positions):
                     agg.add(1 if position is None else row[position])
                 start_index += 1
-                if meter is not None:
-                    meter.charge_cpu(1)
             while end_index < total and by_end[end_index][t2_pos] == instant:
                 row = by_end[end_index]
                 for agg, position in zip(sliding, argument_positions):
                     agg.remove(1 if position is None else row[position])
                 end_index += 1
-                if meter is not None:
-                    meter.charge_cpu(1)
+            if meter is not None:
+                meter.charge_cpu((start_index - s0) + (end_index - e0))
             previous = instant
 
     @staticmethod
@@ -220,18 +222,17 @@ class TemporalAggregateCursor(GeneratorCursor):
 
                 if previous is not None and previous < instant and count:
                     yield key + (previous, instant, count)
+                s0, e0 = start_index, end_index
                 while start_index < total and rows[start_index][t1_pos] == instant:
                     if position is None or rows[start_index][position] is not None:
                         count += 1
                     start_index += 1
-                    if meter is not None:
-                        meter.charge_cpu(1)
                 while end_index < total and by_end[end_index][t2_pos] == instant:
                     if position is None or by_end[end_index][position] is not None:
                         count -= 1
                     end_index += 1
-                    if meter is not None:
-                        meter.charge_cpu(1)
+                if meter is not None:
+                    meter.charge_cpu((start_index - s0) + (end_index - e0))
                 previous = instant
             return
 
@@ -243,22 +244,21 @@ class TemporalAggregateCursor(GeneratorCursor):
 
             if previous is not None and previous < instant and any(counts):
                 yield key + (previous, instant) + tuple(counts)
+            s0, e0 = start_index, end_index
             while start_index < total and rows[start_index][t1_pos] == instant:
                 row = rows[start_index]
                 for index, position in enumerate(argument_positions):
                     if position is None or row[position] is not None:
                         counts[index] += 1
                 start_index += 1
-                if meter is not None:
-                    meter.charge_cpu(1)
             while end_index < total and by_end[end_index][t2_pos] == instant:
                 row = by_end[end_index]
                 for index, position in enumerate(argument_positions):
                     if position is None or row[position] is not None:
                         counts[index] -= 1
                 end_index += 1
-                if meter is not None:
-                    meter.charge_cpu(1)
+            if meter is not None:
+                meter.charge_cpu((start_index - s0) + (end_index - e0))
             previous = instant
 
     def _close(self) -> None:

@@ -18,21 +18,40 @@ once and pays one call per chunk rather than per row.
 
 from __future__ import annotations
 
-import itertools
+import os
+import queue
+import threading
 import time
 
 from repro.algebra.schema import Schema
 from repro.xxl.cursor import Cursor
 
-_SEQUENCE = itertools.count(1)
+_SEQUENCE = 0
+_SEQUENCE_LOCK = threading.Lock()
 
 #: Rows per executemany chunk when the plan does not say otherwise.
 DEFAULT_LOAD_CHUNK = 1024
 
+#: Chunks buffered between producer and loader in a pipelined load.
+_PIPELINE_DEPTH = 2
+
+#: Seconds between cancellation checks on pipelined queue operations.
+_POLL_SECONDS = 0.05
+
 
 def unique_temp_name(prefix: str = "TANGO_TMP") -> str:
-    """A fresh temp-table name (unique within this process)."""
-    return f"{prefix}_{next(_SEQUENCE)}"
+    """A fresh temp-table name: ``prefix_pid_n``.
+
+    The pid plus a lock-protected monotonic counter makes names unique
+    across concurrent queries in one process *and* across processes
+    sharing one DBMS — two parallel workers can never collide on a
+    ``CREATE TABLE``.
+    """
+    global _SEQUENCE
+    with _SEQUENCE_LOCK:
+        _SEQUENCE += 1
+        n = _SEQUENCE
+    return f"{prefix}_{os.getpid()}_{n}"
 
 
 class TransferDCursor(Cursor):
@@ -52,6 +71,7 @@ class TransferDCursor(Cursor):
         order: tuple[str, ...] = (),
         chunk_size: int = DEFAULT_LOAD_CHUNK,
         retry=None,
+        pipelined: bool = False,
     ):
         super().__init__(Schema([]))
         self._input = input
@@ -60,8 +80,12 @@ class TransferDCursor(Cursor):
         self._order = order
         self.chunk_size = max(1, chunk_size)
         self._retry = retry
+        #: Double-buffered load: ``executemany`` of chunk *k* on a loader
+        #: thread overlaps production of chunk *k+1* on this one.
+        self.pipelined = pipelined
         self.rows_loaded = 0
         self._dropped = False
+        self._drop_lock = threading.Lock()
         #: Transient-fault retries this load spent (EXPLAIN ANALYZE shows
         #: the count on the transfer span).
         self.retries = 0
@@ -88,31 +112,96 @@ class TransferDCursor(Cursor):
             "transfer_d.create",
         )
         self.load_seconds += time.perf_counter() - begin
+        if self.pipelined:
+            self._drain_pipelined()
+        else:
+            self._drain_serial()
+        self._input.close()
+
+    def _load_chunk(self, chunk: list[tuple]) -> None:
+        begin = time.perf_counter()
+        # Retrying re-sends the *same* chunk: the input was drained
+        # exactly once, and the loader rolls back a chunk that failed
+        # mid-append, so a retry can never double-load rows.
+        self.rows_loaded += self._call_dbms(
+            lambda: self._connection.executemany(
+                self.table_name, self.schema, chunk, self._order
+            ),
+            "transfer_d.load",
+        )
+        self.load_seconds += time.perf_counter() - begin
+
+    def _drain_serial(self) -> None:
         while True:
             # Input production is middleware work and stays outside
             # load_seconds — the Section 7 signal times only the DBMS side.
             chunk = self._input.next_batch(self.chunk_size)
             if not chunk:
                 break
-            begin = time.perf_counter()
-            # Retrying re-sends the *same* chunk: the input was drained
-            # exactly once above, and the loader rolls back a chunk that
-            # failed mid-append, so a retry can never double-load rows.
-            self.rows_loaded += self._call_dbms(
-                lambda: self._connection.executemany(
-                    self.table_name, self.schema, chunk, self._order
-                ),
-                "transfer_d.load",
-            )
-            self.load_seconds += time.perf_counter() - begin
-        self._input.close()
+            self._load_chunk(chunk)
+
+    def _drain_pipelined(self) -> None:
+        """Double-buffered load: a loader thread runs ``executemany`` of
+        chunk *k* while this thread produces chunk *k+1*.
+
+        ``load_seconds`` is accumulated inside :meth:`_load_chunk` on the
+        loader thread, so it still times only DBMS work — production time
+        that the load overlaps is simply *hidden*, which is the point.
+        """
+        chunks: queue.Queue = queue.Queue(maxsize=_PIPELINE_DEPTH)
+        failed: list[BaseException] = []
+
+        def load() -> None:
+            while True:
+                chunk = chunks.get()
+                if chunk is None:
+                    return
+                try:
+                    self._load_chunk(chunk)
+                except BaseException as error:  # noqa: BLE001 - crosses threads
+                    failed.append(error)
+                    return
+
+        loader = threading.Thread(target=load, name="tango-transfer-d", daemon=True)
+        loader.start()
+        try:
+            while not failed:
+                chunk = self._input.next_batch(self.chunk_size)
+                if not chunk:
+                    break
+                while not failed:
+                    try:
+                        chunks.put(chunk, timeout=_POLL_SECONDS)
+                        break
+                    except queue.Full:
+                        continue
+        finally:
+            while True:
+                try:
+                    chunks.put(None, timeout=_POLL_SECONDS)
+                    break
+                except queue.Full:
+                    if failed:
+                        break  # loader died; nothing is draining the queue
+            loader.join()
+        if failed:
+            raise failed[0]
 
     def _next(self) -> tuple:
         raise StopIteration
 
     def drop(self) -> None:
-        """End-of-query cleanup: drop the loaded temp table; idempotent."""
-        if self._dropped:
-            return
-        self._connection.drop_temp(self.table_name)
-        self._dropped = True
+        """End-of-query cleanup: drop the loaded temp table; idempotent
+        and race-tolerant — a drop may arrive from the engine's
+        finally-teardown concurrently with an exchange thread's cleanup.
+        """
+        with self._drop_lock:
+            if self._dropped:
+                return
+            self._dropped = True
+        try:
+            self._connection.drop_temp(self.table_name)
+        except BaseException:
+            with self._drop_lock:
+                self._dropped = False
+            raise

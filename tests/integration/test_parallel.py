@@ -1,0 +1,264 @@
+"""Integration: partition-parallel execution is an invisible optimization.
+
+The paper's four queries must return exactly the serial answers at every
+worker count and partition strategy; ``workers=1`` must reproduce the
+serial plans verbatim; parallel runs must leak no temp tables, share one
+retry budget across partitions, and fall back to the all-DBMS plan when
+that budget runs out — chaos included."""
+
+import pytest
+
+from repro.core.plans import compile_plan
+from repro.core.tango import Tango, TangoConfig
+from repro.dbms.database import MiniDB
+from repro.errors import TransientError
+from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
+from repro.workloads import queries
+from repro.workloads.uis import load_uis
+
+Q1_SQL = queries.query1_sql()
+CHAOS_SEED = 20010521
+
+
+@pytest.fixture(scope="module")
+def parallel_db():
+    db = MiniDB()
+    load_uis(db, scale=0.01, with_variants=False)
+    return db
+
+
+def initial_plan(db, name):
+    return {
+        "Q1": lambda: queries.query1_initial_plan(db),
+        "Q2": lambda: queries.query2_initial_plan(db, "1996-01-01"),
+        "Q3": lambda: queries.query3_initial_plan(db, "1995-01-01"),
+        "Q4": lambda: queries.query4_initial_plan(db),
+    }[name]()
+
+
+def run(tango, name):
+    if name == "Q1":
+        return tango.query(Q1_SQL).rows
+    optimization = tango.optimize(initial_plan(tango.db, name))
+    return tango.execute_plan(optimization.plan).rows
+
+
+@pytest.fixture(scope="module")
+def baseline(parallel_db):
+    """Serial ground truth, fault-free even under the env chaos profile."""
+    tango = Tango(
+        parallel_db, fault_injector=FaultInjector(FaultPolicy(), seed=0)
+    )
+    return {name: run(tango, name) for name in ("Q1", "Q2", "Q3", "Q4")}
+
+
+def assert_no_leaked_temp_tables(db):
+    leaked = [t for t in db.list_tables() if t.startswith("TANGO_TMP")]
+    assert leaked == [], f"leaked temp tables: {leaked}"
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("strategy", ["range", "hash"])
+    def test_same_rows_at_every_degree(
+        self, parallel_db, baseline, name, workers, strategy
+    ):
+        # Sorted comparison: the parallel cost terms may legitimately pick
+        # a different (cheaper) plan, which can reorder rows that tie
+        # under the query's ORDER BY.  The row multiset must be identical.
+        tango = Tango(
+            parallel_db,
+            config=TangoConfig(workers=workers, partition_strategy=strategy),
+        )
+        assert sorted(run(tango, name)) == sorted(baseline[name])
+        assert_no_leaked_temp_tables(parallel_db)
+        tango.close()
+
+    @pytest.mark.parametrize("strategy", ["range", "hash"])
+    def test_query1_order_is_preserved_exactly(
+        self, parallel_db, baseline, strategy
+    ):
+        # Query 1's delivered order (PosID, T1) is a key of the result, so
+        # exchange reassembly must reproduce the serial order exactly.
+        tango = Tango(
+            parallel_db,
+            config=TangoConfig(workers=4, partition_strategy=strategy),
+        )
+        assert run(tango, "Q1") == baseline["Q1"]
+        tango.close()
+
+    @pytest.mark.parametrize("strategy", ["range", "hash"])
+    def test_parallel_run_actually_fans_out(self, parallel_db, baseline, strategy):
+        tango = Tango(
+            parallel_db,
+            config=TangoConfig(workers=4, partition_strategy=strategy),
+        )
+        assert run(tango, "Q1") == baseline["Q1"]
+        assert tango.metrics.value("exchange_partitions") >= 2
+        tango.close()
+
+
+class TestWorkersOneIsSerial:
+    def test_plan_description_is_byte_identical(self, parallel_db):
+        serial = Tango(parallel_db)
+        one_worker = Tango(parallel_db, config=TangoConfig(workers=1))
+
+        def describe(tango):
+            optimization = tango.optimize(initial_plan(tango.db, "Q1"))
+            execution = compile_plan(
+                optimization.plan,
+                tango.connection,
+                parallel=tango._parallel_context(),
+            )
+            text = execution.describe()
+            execution.cleanup()
+            return text
+
+        assert describe(one_worker) == describe(serial)
+        assert "EXCHANGE" not in describe(one_worker)
+
+    def test_trace_shape_is_identical(self, parallel_db, baseline):
+        def span_names(tango):
+            result = tango.query(Q1_SQL)
+            assert result.rows == baseline["Q1"]
+            names = []
+
+            def visit(span):
+                names.append((span.name, span.kind))
+                for child in span.children:
+                    visit(child)
+
+            visit(result.trace)
+            return names
+
+        serial = Tango(parallel_db, config=TangoConfig(tracing=True))
+        one_worker = Tango(
+            parallel_db, config=TangoConfig(tracing=True, workers=1)
+        )
+        assert span_names(one_worker) == span_names(serial)
+
+    def test_no_pool_is_built_for_serial_sessions(self, parallel_db):
+        tango = Tango(parallel_db, config=TangoConfig(workers=1))
+        tango.query(Q1_SQL)
+        assert tango._pool is None
+        tango.close()
+
+
+class TestParallelObservability:
+    def test_explain_analyze_reports_workers(self, parallel_db):
+        tango = Tango(parallel_db, config=TangoConfig(workers=4))
+        report = tango.explain_analyze(Q1_SQL)
+        text = str(report)
+        assert "EXCHANGE" in text
+        assert "[workers=" in text
+        exchange = [m for m in report.operators if m.algorithm == "EXCHANGE"]
+        assert len(exchange) == 1 and exchange[0].workers >= 2
+        tango.close()
+
+    def test_exchange_trace_has_one_span_per_partition(self, parallel_db):
+        tango = Tango(parallel_db, config=TangoConfig(workers=4, tracing=True))
+        result = tango.query(Q1_SQL)
+        exchange_spans = result.trace.find_all(kind="exchange")
+        assert len(exchange_spans) == 1
+        span = exchange_spans[0]
+        partitions = span.attributes["partitions"]
+        assert partitions >= 2
+        tagged = [
+            child
+            for child in span.children
+            if child.attributes.get("partition") is not None
+        ]
+        assert len(tagged) == partitions
+        assert 0.0 <= span.attributes["parallel_efficiency"] <= 1.0
+        tango.close()
+
+    def test_efficiency_histogram_is_recorded(self, parallel_db):
+        tango = Tango(parallel_db, config=TangoConfig(workers=4))
+        tango.query(Q1_SQL)
+        assert tango.metrics.value("exchange_partitions") >= 2
+        histogram = tango.metrics.histogram("parallel_efficiency")
+        assert histogram.count >= 1
+        tango.close()
+
+
+class PartitionOnlyInjector(FaultInjector):
+    """Faults every DBMS call issued from an exchange worker thread and
+    none from the main thread — the deterministic way to kill all
+    partitions while leaving the serial fallback healthy."""
+
+    def before(self, op: str) -> None:
+        import threading
+
+        if threading.current_thread().name.startswith("tango-exchange"):
+            self.faults_injected += 1
+            raise TransientError(f"injected partition fault on {op}")
+        super().before(op)
+
+
+class TestRetryBudgetAcrossPartitions:
+    def make_tango(self, db, budget):
+        return Tango(
+            db,
+            config=TangoConfig(
+                workers=4,
+                retry=RetryPolicy(
+                    max_attempts=3,
+                    budget=budget,
+                    base_delay_seconds=0.0,
+                    max_delay_seconds=0.0,
+                ),
+            ),
+            fault_injector=PartitionOnlyInjector(FaultPolicy(), seed=CHAOS_SEED),
+        )
+
+    def test_exhausted_partitions_fall_back_to_serial(
+        self, parallel_db, baseline
+    ):
+        tango = self.make_tango(parallel_db, budget=4)
+        result = tango.query(Q1_SQL)
+        # The initial plan orders groups only by PosID; compare as sets of
+        # constant intervals (as the chaos fallback test does).
+        assert sorted(result.rows) == sorted(baseline["Q1"])
+        assert tango.metrics.value("fallbacks") == 1
+        assert_no_leaked_temp_tables(parallel_db)
+        tango.close()
+
+    def test_budget_is_shared_not_per_partition(self, parallel_db, baseline):
+        budget = 4
+        tango = self.make_tango(parallel_db, budget=budget)
+        tango.query(Q1_SQL)
+        # Four partitions retrying independently would spend up to 8
+        # retries (2 per cursor); the shared budget caps the whole query.
+        assert tango.metrics.value("retries") <= budget
+        tango.close()
+
+
+class TestParallelChaosEquivalence:
+    @pytest.mark.parametrize("strategy", ["range", "hash"])
+    def test_seeded_chaos_parallel_answers_unchanged(
+        self, parallel_db, baseline, strategy
+    ):
+        injector = FaultInjector(
+            FaultPolicy(round_trip_p=0.2, load_chunk_p=0.2), seed=CHAOS_SEED
+        )
+        tango = Tango(
+            parallel_db,
+            config=TangoConfig(
+                workers=4,
+                partition_strategy=strategy,
+                retry=RetryPolicy(
+                    max_attempts=10,
+                    budget=100_000,
+                    base_delay_seconds=0.0,
+                    max_delay_seconds=0.0,
+                ),
+            ),
+            fault_injector=injector,
+        )
+        for name in ("Q1", "Q2", "Q3", "Q4"):
+            assert sorted(run(tango, name)) == sorted(baseline[name])
+        assert injector.faults_injected > 0
+        assert tango.metrics.value("fallbacks") == 0
+        assert_no_leaked_temp_tables(parallel_db)
+        tango.close()

@@ -1,0 +1,373 @@
+"""Unit tests for the partition-parallel exchange layer: partition specs,
+cut-point selection, the repartition splitter, the exchange cursor's
+concat/merge reassembly, failure propagation, and the temp-name/drop
+races the parallel engine depends on."""
+
+import threading
+
+import pytest
+
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.dbms.database import MiniDB
+from repro.dbms.jdbc import Connection
+from repro.errors import ExecutionError
+from repro.stats.collector import AttributeStats, RelationStats
+from repro.stats.histogram import Histogram
+from repro.xxl.cursor import Cursor, materialize
+from repro.xxl.exchange import (
+    ExchangeCursor,
+    PartitionSpec,
+    RepartitionCursor,
+    equal_count_cut_points,
+    range_partition_spec,
+)
+from repro.xxl.sources import IterableCursor, RelationCursor
+from repro.xxl.transfer import TransferDCursor, unique_temp_name
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("V", AttrType.INT),
+    ]
+)
+
+
+def rows_for(keys):
+    return [(key, key * 10) for key in keys]
+
+
+class TestPartitionSpec:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ExecutionError):
+            PartitionSpec("K", "round-robin", 2, (5.0,))
+
+    def test_rejects_wrong_cut_point_count(self):
+        with pytest.raises(ExecutionError):
+            PartitionSpec("K", "range", 3, (5.0,))
+
+    def test_rejects_non_increasing_cut_points(self):
+        with pytest.raises(ExecutionError):
+            PartitionSpec("K", "range", 3, (5.0, 5.0))
+
+    def test_range_assign_uses_half_open_intervals(self):
+        spec = PartitionSpec("K", "range", 3, (10.0, 20.0))
+        assert spec.assign(9) == 0
+        assert spec.assign(10) == 1  # cut point belongs to the upper side
+        assert spec.assign(19) == 1
+        assert spec.assign(20) == 2
+        assert spec.assign(-100) == 0
+        assert spec.assign(10_000) == 2
+
+    def test_hash_assign_covers_every_partition(self):
+        spec = PartitionSpec("K", "hash", 4)
+        indexes = {spec.assign(value) for value in range(100)}
+        assert indexes == {0, 1, 2, 3}
+        assert all(0 <= spec.assign(v) < 4 for v in range(100))
+
+    def test_bounds_open_at_the_extremes(self):
+        spec = PartitionSpec("K", "range", 3, (10.0, 20.0))
+        assert spec.bounds(0) == (None, 10.0)
+        assert spec.bounds(1) == (10.0, 20.0)
+        assert spec.bounds(2) == (20.0, None)
+
+    def test_predicates_cover_the_whole_value_space(self):
+        spec = PartitionSpec("K", "range", 3, (10.0, 20.0))
+        predicates = spec.predicates_sql("T")
+        assert predicates == [
+            "T.K < 10",
+            "T.K >= 10 AND T.K < 20",
+            "T.K >= 20",
+        ]
+
+    def test_single_partition_predicate_is_unbounded(self):
+        spec = PartitionSpec("K", "range", 1, ())
+        assert spec.predicates_sql("T") == ["1 = 1"]
+
+    def test_hash_spec_has_no_sql_form(self):
+        with pytest.raises(ExecutionError):
+            PartitionSpec("K", "hash", 2).predicates_sql("T")
+
+
+class TestCutPoints:
+    def test_uniform_histogram_splits_evenly(self):
+        histogram = Histogram(bounds=(0.0, 10.0, 20.0, 30.0, 40.0),
+                              counts=(10, 10, 10, 10))
+        assert equal_count_cut_points(histogram, 4) == [10.0, 20.0, 30.0]
+
+    def test_skewed_histogram_interpolates_within_buckets(self):
+        # 90 of 100 values in [0, 10): the median lands inside bucket 0.
+        histogram = Histogram(bounds=(0.0, 10.0, 20.0), counts=(90, 10))
+        (point,) = equal_count_cut_points(histogram, 2)
+        assert 0.0 < point < 10.0
+        assert point == pytest.approx(50 / 90 * 10)
+
+    def test_degenerate_inputs_yield_no_points(self):
+        histogram = Histogram(bounds=(0.0, 1.0), counts=(0,))
+        assert equal_count_cut_points(histogram, 4) == []
+
+
+def stats_for(cardinality, distinct=100, histogram=None, bounds=(0.0, 100.0)):
+    return RelationStats(
+        cardinality=cardinality,
+        avg_row_size=16,
+        attributes={
+            "k": AttributeStats(
+                name="K",
+                min_value=bounds[0],
+                max_value=bounds[1],
+                distinct=distinct,
+                histogram=histogram,
+            )
+        },
+    )
+
+
+class TestRangePartitionSpec:
+    def test_uniform_split_from_min_max(self):
+        spec = range_partition_spec("K", stats_for(10_000), 4)
+        assert spec is not None
+        assert spec.degree == 4
+        assert spec.cut_points == (25.0, 50.0, 75.0)
+
+    def test_histogram_beats_min_max(self):
+        histogram = Histogram(bounds=(0.0, 10.0, 100.0), counts=(900, 100))
+        spec = range_partition_spec("K", stats_for(10_000, histogram=histogram), 2)
+        assert spec is not None
+        # The equal-count point sits in the dense low bucket, not at 50.
+        assert spec.cut_points[0] < 10.0
+
+    def test_small_inputs_stay_serial(self):
+        assert range_partition_spec("K", stats_for(100), 4) is None
+
+    def test_degree_capped_by_cardinality(self):
+        spec = range_partition_spec("K", stats_for(300), 4, min_rows=128)
+        assert spec is not None
+        assert spec.degree == 2
+
+    def test_degree_capped_by_distinct_values(self):
+        spec = range_partition_spec("K", stats_for(10_000, distinct=2), 4)
+        assert spec is not None and spec.degree == 2
+        assert range_partition_spec("K", stats_for(10_000, distinct=1), 4) is None
+
+    def test_constant_attribute_not_partitionable(self):
+        assert (
+            range_partition_spec("K", stats_for(10_000, bounds=(5.0, 5.0)), 4)
+            is None
+        )
+
+
+class ClosableCursor(IterableCursor):
+    """An IterableCursor that records whether it was closed."""
+
+    def __init__(self, schema, rows):
+        super().__init__(schema, rows)
+        self.closed_count = 0
+
+    def _close(self):
+        self.closed_count += 1
+
+
+class TestRepartitionCursor:
+    def test_routes_by_hash_and_loses_nothing(self):
+        rows = rows_for(range(50))
+        spec = PartitionSpec("K", "hash", 3)
+        splitter = RepartitionCursor(IterableCursor(SCHEMA, rows), spec)
+        routed = [materialize(output) for output in splitter.outputs]
+        assert sorted(row for part in routed for row in part) == sorted(rows)
+        for index, part in enumerate(routed):
+            assert all(spec.assign(row[0]) == index for row in part)
+
+    def test_groups_stay_whole(self):
+        rows = rows_for([1, 2, 1, 3, 2, 1])
+        splitter = RepartitionCursor(
+            IterableCursor(SCHEMA, rows), PartitionSpec("K", "hash", 2)
+        )
+        routed = [materialize(output) for output in splitter.outputs]
+        for key in (1, 2, 3):
+            holders = [i for i, part in enumerate(routed)
+                       if any(row[0] == key for row in part)]
+            assert len(holders) == 1
+
+    def test_outputs_adopt_input_schema(self):
+        splitter = RepartitionCursor(
+            IterableCursor(SCHEMA, rows_for([1])), PartitionSpec("K", "hash", 2)
+        )
+        output = splitter.outputs[0].init()
+        assert output.schema.names == ("K", "V")
+
+    def test_shared_input_closed_with_last_output(self):
+        source = ClosableCursor(SCHEMA, rows_for(range(10)))
+        splitter = RepartitionCursor(source, PartitionSpec("K", "hash", 3))
+        for output in splitter.outputs:
+            materialize(output)
+        assert source.closed_count == 1
+
+
+class FailingCursor(Cursor):
+    """Produces a few rows, then raises."""
+
+    def __init__(self, schema, rows, error):
+        super().__init__(schema)
+        self._rows = list(rows)
+        self._error = error
+
+    def _open(self):
+        pass
+
+    def _next(self):
+        if self._rows:
+            return self._rows.pop(0)
+        raise self._error
+
+
+class TestExchangeCursor:
+    def test_concat_preserves_partition_order(self):
+        pipelines = [
+            IterableCursor(SCHEMA, rows_for(range(0, 10))),
+            IterableCursor(SCHEMA, rows_for(range(10, 20))),
+            IterableCursor(SCHEMA, rows_for(range(20, 30))),
+        ]
+        exchange = ExchangeCursor(pipelines, workers=2)
+        assert materialize(exchange) == rows_for(range(30))
+
+    def test_merge_reassembles_global_order(self):
+        rows = rows_for(range(40))
+        spec = PartitionSpec("K", "hash", 3)
+        parts = [[], [], []]
+        for row in rows:
+            parts[spec.assign(row[0])].append(row)
+        pipelines = [IterableCursor(SCHEMA, part) for part in parts]
+        exchange = ExchangeCursor(pipelines, workers=3, merge_keys=("K",))
+        assert materialize(exchange) == rows
+
+    def test_merge_breaks_ties_by_partition_index(self):
+        left = [(1, 100), (2, 100)]
+        right = [(1, 200), (2, 200)]
+        exchange = ExchangeCursor(
+            [IterableCursor(SCHEMA, left), IterableCursor(SCHEMA, right)],
+            workers=2,
+            merge_keys=("K",),
+        )
+        assert materialize(exchange) == [(1, 100), (1, 200), (2, 100), (2, 200)]
+
+    def test_empty_partitions_still_publish_schema(self):
+        exchange = ExchangeCursor(
+            [IterableCursor(SCHEMA, []), IterableCursor(SCHEMA, [])],
+            workers=2,
+        )
+        assert materialize(exchange) == []
+        assert exchange.schema.names == ("K", "V")
+
+    def test_empty_merge_does_not_crash(self):
+        exchange = ExchangeCursor(
+            [IterableCursor(SCHEMA, [])], workers=1, merge_keys=("K",)
+        )
+        assert materialize(exchange) == []
+
+    def test_workers_capped_by_partitions(self):
+        exchange = ExchangeCursor([IterableCursor(SCHEMA, [])], workers=8)
+        assert exchange.workers == 1
+
+    def test_needs_at_least_one_partition(self):
+        with pytest.raises(ExecutionError):
+            ExchangeCursor([], workers=2)
+
+    def test_partition_error_reaches_the_consumer(self):
+        boom = ValueError("partition exploded")
+        pipelines = [
+            IterableCursor(SCHEMA, rows_for(range(1000))),
+            FailingCursor(SCHEMA, rows_for(range(3)), boom),
+        ]
+        exchange = ExchangeCursor(pipelines, workers=2, merge_keys=("K",))
+        with pytest.raises(ValueError, match="partition exploded"):
+            materialize(exchange)
+
+    def test_failed_partition_cancels_siblings(self):
+        # The sibling is unbounded; only cancellation lets close() return.
+        def endless():
+            value = 0
+            while True:
+                yield (value, value)
+                value += 1
+
+        pipelines = [
+            IterableCursor(SCHEMA, endless()),
+            FailingCursor(SCHEMA, [], RuntimeError("dead partition")),
+        ]
+        exchange = ExchangeCursor(pipelines, workers=2, queue_batches=1)
+        exchange.init()
+        with pytest.raises(RuntimeError, match="dead partition"):
+            while exchange.next_batch(64):
+                pass
+        exchange.close()  # must join the endless producer, not hang
+
+    def test_close_without_init_closes_pipelines(self):
+        sources = [ClosableCursor(SCHEMA, []), ClosableCursor(SCHEMA, [])]
+        exchange = ExchangeCursor(list(sources), workers=2)
+        exchange.close()
+        assert [source.closed_count for source in sources] == [1, 1]
+
+    def test_efficiency_computed_at_close(self):
+        exchange = ExchangeCursor(
+            [IterableCursor(SCHEMA, rows_for(range(100)))], workers=1
+        )
+        materialize(exchange)
+        assert 0.0 <= exchange.parallel_efficiency <= 1.0
+
+
+class TestUniqueTempName:
+    def test_contains_pid(self):
+        import os
+
+        assert f"_{os.getpid()}_" in unique_temp_name()
+
+    def test_unique_across_threads(self):
+        names: list[str] = []
+        lock = threading.Lock()
+
+        def grab():
+            for _ in range(200):
+                name = unique_temp_name()
+                with lock:
+                    names.append(name)
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(names) == len(set(names))
+
+
+class TestDropRace:
+    def make_transfer(self, connection):
+        source = RelationCursor(SCHEMA, rows_for(range(10)))
+        return TransferDCursor(source, connection, unique_temp_name())
+
+    def test_drop_is_idempotent(self):
+        connection = Connection(MiniDB())
+        transfer = self.make_transfer(connection).init()
+        transfer.drop()
+        transfer.drop()  # second drop is a no-op, not an error
+        assert transfer.table_name not in connection.db.list_tables()
+
+    def test_concurrent_drops_drop_exactly_once(self):
+        connection = Connection(MiniDB())
+        transfer = self.make_transfer(connection).init()
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait()
+            try:
+                transfer.drop()
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert transfer.table_name not in connection.db.list_tables()
