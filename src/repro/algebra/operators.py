@@ -325,15 +325,22 @@ class Project(_Unary):
         return tuple(name for name, _ in self.outputs)
 
     def order(self) -> tuple[str, ...]:
-        # Order survives projection for the prefix of the input order that is
-        # still present in the output.
-        kept = {name.lower() for name in self.column_names() }
+        # Order survives projection for the prefix of the input order whose
+        # columns pass through as bare references — under the *output* name,
+        # since a renaming projection (e.g. the compensation E2 adds when it
+        # commutes a join) moves the ordered values to a different column.
+        from repro.algebra.expressions import ColumnRef
+
+        passthrough: dict[str, str] = {}
+        for name, expression in self.outputs:
+            if isinstance(expression, ColumnRef):
+                passthrough.setdefault(expression.name.lower(), name)
         surviving: list[str] = []
         for attribute in self.input.order():
-            if attribute.lower() in kept:
-                surviving.append(attribute)
-            else:
+            output_name = passthrough.get(attribute.lower())
+            if output_name is None:
                 break
+            surviving.append(output_name)
         return tuple(surviving)
 
     def signature(self) -> tuple:

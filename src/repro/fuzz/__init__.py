@@ -1,0 +1,62 @@
+"""``repro.fuzz`` — the differential plan-equivalence fuzzer.
+
+TANGO's correctness contract (Sections 3.1-3.2 of the paper) is that every
+plan the optimizer emits — any placement of ``T^M``/``T^D``, any rule
+rewrite, any worker/batch configuration — computes the same relation as the
+initial all-DBMS plan, as a list where order is guaranteed and as a
+multiset otherwise.  This package turns that contract into a permanent,
+seeded differential-testing subsystem:
+
+* :mod:`repro.fuzz.generator` — random temporal queries over randomized
+  UIS-shaped schemas (selection, projection, sort, dedup/coalesce, join,
+  temporal join, temporal aggregation);
+* :mod:`repro.fuzz.oracle` — executes each query under the initial plan
+  and under sampled alternatives (top-k memo plans, forced single-rule
+  rewrites, a worker/batch/chaos config matrix) and compares results with
+  the list-vs-multiset semantics each plan's ordering properties declare,
+  plus invariant checks (temp-table leaks, retry-budget conservation,
+  span-tree well-formedness);
+* :mod:`repro.fuzz.shrinker` — delta-debugs any failing (query, plan,
+  config, seed) tuple down to a minimal reproducer and emits it as a
+  ready-to-paste pytest case;
+* :mod:`repro.fuzz.harness` — the budgeted driver behind
+  ``python -m repro.fuzz --seed S --budget N``.
+"""
+
+from repro.fuzz.compare import (
+    canonical_rows,
+    describe_mismatch,
+    is_sorted_on,
+    rows_equal,
+)
+from repro.fuzz.generator import FuzzCase, QueryGenerator
+from repro.fuzz.harness import FuzzHarness, FuzzReport
+from repro.fuzz.oracle import (
+    DEFAULT_CONFIG,
+    ExecConfig,
+    FailureReport,
+    Oracle,
+    derive_alternative,
+    execute_with_config,
+)
+from repro.fuzz.shrinker import Shrinker, ShrunkCase, TableData
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ExecConfig",
+    "FailureReport",
+    "FuzzCase",
+    "FuzzHarness",
+    "FuzzReport",
+    "Oracle",
+    "QueryGenerator",
+    "Shrinker",
+    "ShrunkCase",
+    "TableData",
+    "canonical_rows",
+    "derive_alternative",
+    "describe_mismatch",
+    "execute_with_config",
+    "is_sorted_on",
+    "rows_equal",
+]

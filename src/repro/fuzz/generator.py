@@ -1,0 +1,329 @@
+"""Random temporal queries over randomized UIS-shaped schemas.
+
+A :class:`FuzzCase` is a self-contained differential-testing input: a set
+of :class:`~repro.workloads.generator.RandomRelationSpec` relations plus an
+*initial plan* in the paper's Section 3.1 sense — every operator assigned
+to the DBMS, one ``TRANSFER^M`` on top.  The generator composes selection,
+projection, sort, dedup, coalescing, join, temporal join, and temporal
+aggregation, respecting each operator's validity constraints (schema
+derivation in :mod:`repro.algebra.operators` is the checker: a draw that
+raises is simply re-drawn).
+
+Everything is deterministic per ``(seed, index)``: the same seed replays
+the same cases, which is what makes shrunk reproducers stable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algebra.expressions import ColumnRef, Comparison, Expression, conjoin, lit
+from repro.algebra.operators import (
+    AggregateSpec,
+    Coalesce,
+    Dedup,
+    Join,
+    Location,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferM,
+)
+from repro.algebra.schema import AttrType, Schema
+from repro.dbms.database import MiniDB
+from repro.errors import PlanError, SchemaError
+from repro.optimizer.physical import validate_plan
+from repro.workloads.generator import (
+    RandomRelationSpec,
+    _WORDS,
+    generate_relation_rows,
+    random_relation_spec,
+)
+
+#: Operator draw weights; applicability is checked per draw.
+_OPERATOR_WEIGHTS = (
+    ("select", 5),
+    ("project", 3),
+    ("sort", 3),
+    ("dedup", 2),
+    ("coalesce", 2),
+    ("taggr", 3),
+    ("join", 2),
+    ("temporal_join", 2),
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated differential-testing input."""
+
+    tables: tuple[RandomRelationSpec, ...]
+    #: The initial all-DBMS plan, topped with ``T^M``.
+    plan: Operator
+    seed: int
+    index: int = 0
+
+    def build_db(self) -> MiniDB:
+        """A fresh MiniDB with this case's tables loaded and analyzed."""
+        db = MiniDB()
+        for spec in self.tables:
+            db.create_table(spec.name, spec.schema)
+            db.table(spec.name).bulk_load(generate_relation_rows(spec))
+            db.analyze(spec.name)
+        return db
+
+    def describe(self) -> str:
+        tables = ", ".join(
+            f"{spec.name}({spec.cardinality} rows)" for spec in self.tables
+        )
+        return f"case seed={self.seed} index={self.index} over {tables}:\n{self.plan.pretty()}"
+
+
+class QueryGenerator:
+    """Draws :class:`FuzzCase` values from a seeded stream."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_tables: int = 2,
+        max_operators: int = 7,
+        max_rows: int = 40,
+    ):
+        self.seed = seed
+        self.max_tables = max_tables
+        self.max_operators = max_operators
+        self.max_rows = max_rows
+
+    def case(self, index: int) -> FuzzCase:
+        """The *index*-th case of this seed's stream (deterministic)."""
+        rng = random.Random(f"repro.fuzz:{self.seed}:{index}")
+        table_count = rng.randint(1, self.max_tables)
+        tables = tuple(
+            random_relation_spec(rng, f"R{position}", self.max_rows)
+            for position in range(table_count)
+        )
+        plan = TransferM(self._tree(rng, tables, self.max_operators - 1))
+        validate_plan(plan)
+        return FuzzCase(tables=tables, plan=plan, seed=self.seed, index=index)
+
+    def cases(self, count: int, start: int = 0):
+        for index in range(start, start + count):
+            yield self.case(index)
+
+    # -- tree construction -------------------------------------------------------------
+
+    def _tree(
+        self, rng: random.Random, tables: tuple[RandomRelationSpec, ...], budget: int
+    ) -> Operator:
+        plan: Operator = self._scan(rng, tables)
+        nodes = 1
+        while nodes < budget and rng.random() < 0.85:
+            grown = self._grow(rng, plan, tables, budget - nodes)
+            if grown is None:
+                break
+            added = grown.size() - plan.size()
+            plan, nodes = grown, nodes + added
+        return plan
+
+    def _scan(
+        self, rng: random.Random, tables: tuple[RandomRelationSpec, ...]
+    ) -> Scan:
+        spec = rng.choice(tables)
+        return Scan(spec.name, spec.schema)
+
+    def _grow(
+        self,
+        rng: random.Random,
+        plan: Operator,
+        tables: tuple[RandomRelationSpec, ...],
+        remaining: int,
+    ) -> Operator | None:
+        """One growth step; None when no applicable draw survives."""
+        names = [name for name, _ in _OPERATOR_WEIGHTS]
+        weights = [weight for _, weight in _OPERATOR_WEIGHTS]
+        for _ in range(8):  # re-draw on validity failures
+            choice = rng.choices(names, weights=weights)[0]
+            try:
+                grown = self._apply(rng, choice, plan, tables, remaining)
+                if grown is not None:
+                    # Schema derivation is lazy; force it here so output-name
+                    # collisions (e.g. a stacked COUNT reproducing a grouping
+                    # column's name) are re-drawn instead of exploding later
+                    # in the optimizer.
+                    grown.schema  # noqa: B018
+            except (PlanError, SchemaError):
+                continue
+            if grown is not None:
+                return grown
+        return None
+
+    def _apply(
+        self,
+        rng: random.Random,
+        op: str,
+        plan: Operator,
+        tables: tuple[RandomRelationSpec, ...],
+        remaining: int,
+    ) -> Operator | None:
+        schema = plan.schema
+        temporal = schema.has("T1") and schema.has("T2")
+        if op == "select":
+            predicate = self._predicate(rng, schema, tables)
+            if predicate is None:
+                return None
+            return Select(plan, Location.DBMS, predicate)
+        if op == "project":
+            names = self._projection(rng, schema)
+            if names is None:
+                return None
+            return Project.of_columns(plan, names, Location.DBMS)
+        if op == "sort":
+            keys = rng.sample(schema.names, k=min(len(schema), rng.randint(1, 2)))
+            return Sort(plan, Location.DBMS, tuple(keys))
+        if op == "dedup":
+            return Dedup(plan, Location.DBMS)
+        if op == "coalesce":
+            if not temporal:
+                return None
+            return Coalesce(plan, Location.DBMS)
+        if op == "taggr":
+            if not temporal:
+                return None
+            return self._taggr(rng, plan, schema)
+        if op in ("join", "temporal_join"):
+            if remaining < 2:
+                return None
+            right = self._scan(rng, tables)
+            if op == "temporal_join":
+                if not temporal or not right.schema.has("T1"):
+                    return None
+                left_attr = self._int_column(rng, schema)
+                right_attr = self._int_column(rng, right.schema)
+                if left_attr is None or right_attr is None:
+                    return None
+                return TemporalJoin(plan, right, Location.DBMS, left_attr, right_attr)
+            left_attr = self._int_column(rng, schema)
+            right_attr = self._int_column(rng, right.schema)
+            if left_attr is None or right_attr is None:
+                return None
+            return Join(plan, right, Location.DBMS, left_attr, right_attr)
+        return None
+
+    # -- operator ingredients ----------------------------------------------------------
+
+    def _int_column(self, rng: random.Random, schema: Schema) -> str | None:
+        candidates = [
+            attribute.name
+            for attribute in schema
+            if attribute.type is AttrType.INT
+        ]
+        return rng.choice(candidates) if candidates else None
+
+    def _projection(
+        self, rng: random.Random, schema: Schema
+    ) -> tuple[str, ...] | None:
+        names = list(schema.names)
+        if len(names) <= 1:
+            return None
+        period = [name for name in names if name.upper() in ("T1", "T2")]
+        rest = [name for name in names if name.upper() not in ("T1", "T2")]
+        keep = [name for name in rest if rng.random() < 0.7]
+        if not keep and rest:
+            keep = [rng.choice(rest)]
+        # Keep the period most of the time so temporal operators stay
+        # applicable above the projection.
+        if period and (rng.random() < 0.8 or not keep):
+            keep.extend(period)
+        if not keep or len(keep) == len(names):
+            return None
+        return tuple(name for name in names if name in keep)
+
+    def _taggr(
+        self, rng: random.Random, plan: Operator, schema: Schema
+    ) -> TemporalAggregate | None:
+        non_period = [
+            attribute
+            for attribute in schema
+            if attribute.name.upper() not in ("T1", "T2")
+        ]
+        if not non_period:
+            return None
+        group_count = rng.randint(0, min(2, len(non_period)))
+        group_by = tuple(
+            attribute.name for attribute in rng.sample(non_period, k=group_count)
+        )
+        aggregates: list[AggregateSpec] = []
+        numeric = [
+            attribute
+            for attribute in non_period
+            if attribute.type in (AttrType.INT, AttrType.FLOAT)
+            and attribute.name not in group_by
+        ]
+        if numeric and rng.random() < 0.6:
+            func = rng.choice(("SUM", "MIN", "MAX", "AVG"))
+            aggregates.append(AggregateSpec(func, rng.choice(numeric).name))
+        counted = rng.choice(non_period).name
+        aggregates.append(AggregateSpec("COUNT", counted))
+        return TemporalAggregate(
+            plan, Location.DBMS, group_by, tuple(aggregates)
+        )
+
+    def _predicate(
+        self,
+        rng: random.Random,
+        schema: Schema,
+        tables: tuple[RandomRelationSpec, ...],
+    ) -> Expression | None:
+        terms: list[Expression] = []
+        for _ in range(rng.randint(1, 2)):
+            term = self._conjunct(rng, schema, tables)
+            if term is not None:
+                terms.append(term)
+        return conjoin(terms)
+
+    def _conjunct(
+        self,
+        rng: random.Random,
+        schema: Schema,
+        tables: tuple[RandomRelationSpec, ...],
+    ) -> Expression | None:
+        attributes = list(schema)
+        draw = rng.random()
+        if draw < 0.3 and schema.has("T1") and schema.has("T2"):
+            # Overlap-shaped temporal conjunct (P2's pushable shape).
+            instant = self._instant(rng, tables)
+            if rng.random() < 0.5:
+                return Comparison(rng.choice(("<", "<=")), ColumnRef("T1"), lit(instant))
+            return Comparison(rng.choice((">", ">=")), ColumnRef("T2"), lit(instant))
+        attribute = rng.choice(attributes)
+        if attribute.type is AttrType.STR:
+            return Comparison("=", ColumnRef(attribute.name), lit(rng.choice(_WORDS)))
+        if attribute.type is AttrType.DATE:
+            return Comparison(
+                rng.choice(("<", "<=", ">", ">=")),
+                ColumnRef(attribute.name),
+                lit(self._instant(rng, tables)),
+            )
+        if attribute.type is AttrType.FLOAT:
+            return Comparison(
+                rng.choice(("<", "<=", ">", ">=")),
+                ColumnRef(attribute.name),
+                lit(round(rng.uniform(0.0, 10.0), 2)),
+            )
+        op = rng.choice(("<", "<=", ">", ">=", "=", "="))
+        return Comparison(op, ColumnRef(attribute.name), lit(rng.randrange(10)))
+
+    def _instant(
+        self, rng: random.Random, tables: tuple[RandomRelationSpec, ...]
+    ) -> int:
+        start = min(spec.window_start for spec in tables)
+        end = max(spec.window_end for spec in tables)
+        # Occasionally sample outside the window: empty/full selections are
+        # exactly where estimator and executor edge cases live.
+        slack = max(10, (end - start) // 4)
+        return rng.randint(start - slack, end + slack)

@@ -1,0 +1,425 @@
+"""The differential oracle: one query, many plans, one answer.
+
+The ground truth for every generated query is its *initial plan* — all
+processing in the DBMS, one ``TRANSFER^M`` on top (Section 3.1: the plan
+whose semantics define the query).  The oracle executes that baseline once
+under the default configuration, then executes *alternatives* against it:
+
+* the top-*k* cheapest plans the full rule set produces from the memo
+  (:meth:`repro.optimizer.search.Optimizer.top_plans`);
+* plans obtained by forcing a single transformation rule (each rule paired
+  with X1, which is required whenever a coalescing step must leave the
+  DBMS to become executable);
+* the baseline plan itself re-run across a worker/batch-size/chaos
+  configuration matrix.
+
+Every execution is checked three ways:
+
+1. **multiset**: canonicalized rows must equal the baseline's
+   (:func:`repro.fuzz.compare.rows_equal` semantics);
+2. **list**: the rows must satisfy the plan's *declared* order
+   (:func:`repro.algebra.properties.guaranteed_order` +
+   :func:`repro.fuzz.compare.is_sorted_on`) — ties may reorder, prefixes
+   may not;
+3. **invariants**: no ``TANGO_TMP*`` temp table survives the execution,
+   retries never exceed the policy budget, a chaos-free run injects no
+   faults and spends no retries, and the span tree (when traced) is
+   well-formed (every span closed, no negative durations).
+
+Any violation becomes a :class:`FailureReport` carrying the *strategy
+descriptor* that derived the failing alternative — enough for the
+shrinker to re-derive the alternative after each shrink step.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import Operator
+from repro.algebra.properties import guaranteed_order
+from repro.core.tango import Tango, TangoConfig
+from repro.dbms.database import MiniDB
+from repro.dbms.jdbc import Connection
+from repro.errors import OptimizerError, ReproError
+from repro.fuzz.compare import canonical_rows, describe_mismatch, is_sorted_on
+from repro.fuzz.generator import FuzzCase
+from repro.optimizer.rules import Rule, X1MoveCoalesce, default_rules
+from repro.optimizer.search import Optimizer
+from repro.resilience.faults import FaultInjector, FaultPolicy
+from repro.resilience.retry import RetryPolicy
+from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.collector import StatisticsCollector
+from repro.stats.selectivity import PredicateEstimator
+
+#: Retry policy for chaos executions: generous attempts, no sleeping —
+#: chaos runs prove equivalence under faults, not backoff behavior.
+CHAOS_RETRY = RetryPolicy(
+    max_attempts=10, budget=100_000, base_delay_seconds=0.0, max_delay_seconds=0.0
+)
+
+#: The configuration matrix the oracle samples (Section 6's knobs).
+WORKER_CHOICES = (1, 2, 4)
+BATCH_CHOICES = (1, 7, 256)
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """One execution configuration an alternative runs under."""
+
+    workers: int = 1
+    batch_size: int = 256
+    chaos: bool = False
+    chaos_p: float = 0.1
+    chaos_seed: int = 0
+    tracing: bool = True
+
+    def tango_config(self) -> TangoConfig:
+        retry = CHAOS_RETRY if self.chaos else RetryPolicy()
+        return TangoConfig(
+            workers=self.workers,
+            batch_size=self.batch_size,
+            retry=retry,
+            tracing=self.tracing,
+            fallback=False,
+        )
+
+    def fault_injector(self) -> FaultInjector | None:
+        if not self.chaos:
+            return None
+        policy = FaultPolicy(
+            round_trip_p=self.chaos_p, load_chunk_p=self.chaos_p
+        )
+        return FaultInjector(policy, seed=self.chaos_seed)
+
+
+DEFAULT_CONFIG = ExecConfig()
+
+#: A strategy descriptor: how an alternative plan was derived.  The
+#: shrinker replays these against shrunk cases, so they must be pure data.
+Strategy = tuple
+
+
+@dataclass
+class FailureReport:
+    """One oracle violation, with everything needed to replay it."""
+
+    case: FuzzCase
+    strategy: Strategy
+    plan: Operator
+    config: ExecConfig
+    kind: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] strategy={self.strategy} config={self.config}\n"
+            f"{self.message}\n"
+            f"--- case ---\n{self.case.describe()}\n"
+            f"--- failing plan ---\n{self.plan.pretty()}"
+        )
+
+
+def execute_with_config(
+    db: MiniDB, plan: Operator, config: ExecConfig = DEFAULT_CONFIG
+) -> list[tuple]:
+    """Execute *plan* against *db* under *config* and return its rows.
+
+    The standalone entry point emitted reproducers call: one Tango
+    instance, one execution, deterministic per config.
+    """
+    tango = Tango(
+        db, config=config.tango_config(), fault_injector=config.fault_injector()
+    )
+    try:
+        return tango.execute_plan(plan).rows
+    finally:
+        tango.close()
+
+
+def build_estimator(db: MiniDB) -> CardinalityEstimator:
+    """A statistics-backed estimator over *db* (tables must be analyzed)."""
+    return CardinalityEstimator(
+        StatisticsCollector(Connection(db)), PredicateEstimator()
+    )
+
+
+def derive_alternative(
+    db: MiniDB, initial_plan: Operator, strategy: Strategy
+) -> Operator | None:
+    """Re-derive the alternative plan *strategy* describes, or None.
+
+    Strategies:
+
+    * ``("baseline",)`` — the optimized initial plan itself (used by the
+      configuration matrix);
+    * ``("memo", rank)`` — the rank-th cheapest distinct plan under the
+      full rule set;
+    * ``("rule", name)`` — the best plan reachable with only rule *name*
+      (plus X1, the executability rule) enabled.
+    """
+    estimator = build_estimator(db)
+    kind = strategy[0]
+    try:
+        if kind == "baseline":
+            return Optimizer(estimator, rules=[X1MoveCoalesce()]).optimize(
+                initial_plan
+            ).plan
+        if kind == "memo":
+            rank = strategy[1]
+            plans = Optimizer(estimator).top_plans(initial_plan, k=rank + 1)
+            if not plans:
+                return None
+            return plans[min(rank, len(plans) - 1)][0]
+        if kind == "rule":
+            rule = _rule_by_name(strategy[1])
+            if rule is None:
+                return None
+            rules: list[Rule] = [rule]
+            if rule.name != "X1":
+                rules.append(X1MoveCoalesce())
+            plans = Optimizer(estimator, rules=rules).top_plans(initial_plan, k=1)
+            return plans[0][0] if plans else None
+    except (OptimizerError, RecursionError):
+        return None
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _rule_by_name(name: str) -> Rule | None:
+    for rule in default_rules():
+        if rule.name == name:
+            return rule
+    return None
+
+
+@dataclass
+class Oracle:
+    """Runs one :class:`FuzzCase` through the differential checks."""
+
+    #: Memo plans sampled per case.
+    top_k: int = 3
+    #: Forced single-rule strategies sampled per case.
+    rule_samples: int = 3
+    #: Configuration-matrix points sampled per case.
+    config_samples: int = 2
+    #: Total plan executions performed so far (the harness budget unit).
+    executions: int = field(default=0, init=False)
+
+    def check_case(self, case: FuzzCase, rng) -> FailureReport | None:
+        """Execute *case* under the baseline and sampled alternatives.
+
+        Returns the first violation found, or None when every execution
+        agreed with the baseline and kept the invariants.
+        """
+        db = case.build_db()
+        baseline_plan = derive_alternative(db, case.plan, ("baseline",))
+        if baseline_plan is None:
+            raise OptimizerError("baseline derivation failed")
+        outcome = self._execute(db, baseline_plan, DEFAULT_CONFIG)
+        if isinstance(outcome, _ExecutionFailure):
+            return FailureReport(
+                case, ("baseline",), baseline_plan, DEFAULT_CONFIG,
+                outcome.kind, outcome.message,
+            )
+        baseline = canonical_rows(outcome.rows)
+        invariant = self._check_invariants(outcome, baseline_plan)
+        if invariant is not None:
+            return FailureReport(
+                case, ("baseline",), baseline_plan, DEFAULT_CONFIG,
+                invariant[0], invariant[1],
+            )
+
+        for strategy, plan, config in self._alternatives(db, case, baseline_plan, rng):
+            failure = self._check_one(db, case, strategy, plan, config, baseline)
+            if failure is not None:
+                return failure
+        return None
+
+    def probe(
+        self,
+        db: MiniDB,
+        initial_plan: Operator,
+        strategy: Strategy,
+        config: ExecConfig,
+    ):
+        """Re-check one (initial plan, strategy, config) point.
+
+        The shrinker's fitness function: returns ``(kind, message,
+        baseline_plan, failing_plan)`` when the point still fails, None
+        when it passes (or the strategy no longer derives a plan — a
+        shrink step that kills the derivation is a step too far).
+        """
+        baseline_plan = derive_alternative(db, initial_plan, ("baseline",))
+        if baseline_plan is None:
+            return None
+        outcome = self._execute(db, baseline_plan, DEFAULT_CONFIG)
+        if isinstance(outcome, _ExecutionFailure):
+            return outcome.kind, outcome.message, baseline_plan, baseline_plan
+        baseline = canonical_rows(outcome.rows)
+        invariant = self._check_invariants(outcome, baseline_plan)
+        if invariant is not None:
+            return invariant[0], invariant[1], baseline_plan, baseline_plan
+        if strategy == ("baseline",):
+            alternative = baseline_plan
+        else:
+            alternative = derive_alternative(db, initial_plan, strategy)
+        if alternative is None:
+            return None
+        failure = self._check_one(db, None, strategy, alternative, config, baseline)
+        if failure is None:
+            return None
+        return failure.kind, failure.message, baseline_plan, alternative
+
+    # -- alternative enumeration -------------------------------------------------------
+
+    def _alternatives(self, db, case, baseline_plan, rng):
+        estimator = build_estimator(db)
+        seen = {baseline_plan.cache_key}
+
+        try:
+            ranked = Optimizer(estimator).top_plans(case.plan, k=self.top_k + 1)
+        except (OptimizerError, RecursionError):
+            ranked = []
+        for rank, (plan, _cost) in enumerate(ranked):
+            if plan.cache_key in seen:
+                continue
+            seen.add(plan.cache_key)
+            yield ("memo", rank), plan, DEFAULT_CONFIG
+
+        rule_names = [rule.name for rule in default_rules()]
+        for name in rng.sample(rule_names, k=min(self.rule_samples, len(rule_names))):
+            plan = derive_alternative(db, case.plan, ("rule", name))
+            if plan is None or plan.cache_key in seen:
+                continue
+            seen.add(plan.cache_key)
+            yield ("rule", name), plan, DEFAULT_CONFIG
+
+        matrix = [
+            ExecConfig(
+                workers=workers,
+                batch_size=batch,
+                chaos=chaos,
+                chaos_seed=rng.randrange(2**31) if chaos else 0,
+            )
+            for workers, batch, chaos in itertools.product(
+                WORKER_CHOICES, BATCH_CHOICES, (False, True)
+            )
+            if (workers, batch, chaos) != (1, 256, False)
+        ]
+        for config in rng.sample(matrix, k=min(self.config_samples, len(matrix))):
+            yield ("baseline",), baseline_plan, config
+
+    # -- execution + checks ------------------------------------------------------------
+
+    def _check_one(
+        self, db, case, strategy, plan, config, baseline
+    ) -> FailureReport | None:
+        outcome = self._execute(db, plan, config)
+        if isinstance(outcome, _ExecutionFailure):
+            return FailureReport(
+                case, strategy, plan, config, outcome.kind, outcome.message
+            )
+        if canonical_rows(outcome.rows) != baseline:
+            return FailureReport(
+                case, strategy, plan, config, "multiset-mismatch",
+                describe_mismatch(
+                    [tuple(row) for row in baseline], outcome.rows
+                ),
+            )
+        invariant = self._check_invariants(outcome, plan)
+        if invariant is not None:
+            return FailureReport(
+                case, strategy, plan, config, invariant[0], invariant[1]
+            )
+        return None
+
+    def _execute(self, db, plan, config):
+        self.executions += 1
+        injector = config.fault_injector()
+        tango = Tango(db, config=config.tango_config(), fault_injector=injector)
+        # The test suite's chaos profile (TANGO_CHAOS_P) substitutes an
+        # injector into every Tango; when that happened, "chaos off" runs
+        # are faulted anyway and the no-faults invariant must stand down.
+        ambient_chaos = injector is None and tango.fault_injector is not None
+        budget = tango.config.retry.budget
+        try:
+            result = tango.execute_plan(plan)
+        except ReproError as error:
+            return _ExecutionFailure(
+                "execution-error", f"{type(error).__name__}: {error}"
+            )
+        finally:
+            metrics = tango.metrics.to_dict()["counters"]
+            tango.close()
+        leaked = [
+            name
+            for name in db.list_tables()
+            if name.upper().startswith("TANGO_TMP")
+        ]
+        return _ExecutionOutcome(
+            rows=result.rows,
+            trace=result.trace,
+            metrics=metrics,
+            leaked=leaked,
+            config=config,
+            budget=budget,
+            ambient_chaos=ambient_chaos,
+        )
+
+    def _check_invariants(self, outcome, plan) -> tuple[str, str] | None:
+        if outcome.leaked:
+            return "temp-leak", f"temp tables left behind: {outcome.leaked}"
+        retries = outcome.metrics.get("retries", 0)
+        faults = outcome.metrics.get("faults_injected", 0)
+        if retries > outcome.budget:
+            return (
+                "retry-budget",
+                f"{retries} retries recorded against a budget of {outcome.budget}",
+            )
+        if not outcome.config.chaos and not outcome.ambient_chaos and (retries or faults):
+            return (
+                "chaos-metrics",
+                f"chaos off, yet retries={retries} faults={faults}",
+            )
+        span_problem = self._span_problem(outcome.trace)
+        if span_problem is not None:
+            return "span", span_problem
+        order = tuple(guaranteed_order(plan))
+        if order and not is_sorted_on(outcome.rows, plan.schema, order):
+            return (
+                "order-violation",
+                f"plan declares order {order} but delivered rows violate it",
+            )
+        return None
+
+    def _span_problem(self, trace) -> str | None:
+        if trace is None:
+            return None
+        # The root must carry timing (tracer end-stamp or reconstructed
+        # duration); descendant cursor spans may legitimately be untimed —
+        # per-cursor wall time is the EXPLAIN ANALYZE path.
+        if trace.end is None and trace.seconds is None:
+            return f"root span {trace.name!r} was never closed"
+        for span in trace.iter():
+            if span.end is not None and span.end < span.start:
+                return f"span {span.name!r} ends before it starts"
+            if span.seconds is not None and span.seconds < 0:
+                return f"span {span.name!r} has negative duration"
+        return None
+
+
+@dataclass
+class _ExecutionOutcome:
+    rows: list
+    trace: object
+    metrics: dict
+    leaked: list
+    config: ExecConfig
+    budget: int = RetryPolicy().budget
+    ambient_chaos: bool = False
+
+
+@dataclass
+class _ExecutionFailure:
+    kind: str
+    message: str

@@ -69,12 +69,18 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> dict:
+        # One consistent reading: observe() updates count and total
+        # together under the lock, so the exported mean must not mix a
+        # new count with an old total.
+        with self._lock:
+            count, total = self.count, self.total
+            minimum, maximum = self.minimum, self.maximum
         return {
-            "count": self.count,
-            "total": self.total,
-            "mean": self.mean,
-            "min": self.minimum,
-            "max": self.maximum,
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "min": minimum,
+            "max": maximum,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -107,19 +113,31 @@ class MetricsRegistry:
                     instrument = self._histograms[name] = Histogram(name)
         return instrument
 
+    def _snapshot(self) -> tuple[list, list]:
+        """Stable (counters, histograms) item lists for read paths.
+
+        Exchange producer threads create instruments concurrently with
+        snapshot/reset consumers; iterating the live dicts would race dict
+        growth (``RuntimeError: dictionary changed size``), so every read
+        path works from a copy taken under the registry lock.
+        """
+        with self._lock:
+            return (
+                sorted(self._counters.items()),
+                sorted(self._histograms.items()),
+            )
+
     def value(self, name: str) -> int | float:
         """Current value of a counter (0 if it never fired)."""
         instrument = self._counters.get(name)
         return instrument.value if instrument is not None else 0
 
     def to_dict(self) -> dict:
+        counters, histograms = self._snapshot()
         return {
-            "counters": {
-                name: counter.value for name, counter in sorted(self._counters.items())
-            },
+            "counters": {name: counter.value for name, counter in counters},
             "histograms": {
-                name: histogram.to_dict()
-                for name, histogram in sorted(self._histograms.items())
+                name: histogram.to_dict() for name, histogram in histograms
             },
         }
 
@@ -128,15 +146,17 @@ class MetricsRegistry:
         return self.to_dict()
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def render(self) -> str:
         """Aligned text dump, counters then histograms."""
+        counters, histograms = self._snapshot()
         lines: list[str] = []
-        for name, counter in sorted(self._counters.items()):
+        for name, counter in counters:
             lines.append(f"  {name:<32} {counter.value}")
-        for name, histogram in sorted(self._histograms.items()):
+        for name, histogram in histograms:
             lines.append(
                 f"  {name:<32} n={histogram.count}  mean={histogram.mean:.6g}"
                 f"  min={histogram.minimum}  max={histogram.maximum}"

@@ -152,6 +152,62 @@ class Optimizer:
         """Phase-2 style costing of externally supplied candidate plans."""
         return [(plan, self.coster.cost(plan)) for plan in plans]
 
+    def top_plans(
+        self,
+        initial_plan: Operator,
+        k: int = 3,
+        required_order: Order | None = None,
+    ) -> list[tuple[Operator, float]]:
+        """The *k* cheapest structurally distinct plans in the explored memo.
+
+        Where :meth:`optimize` extracts one winner, this enumerates one best
+        plan per root-class element (each a different top-level shape with
+        best-cost subtrees underneath) and returns the cheapest *k* that
+        pass physical validation — the plan-space sample the differential
+        fuzzer (:mod:`repro.fuzz`) executes against the initial plan.
+        """
+        from repro.optimizer.physical import PlanValidityError, validate_plan
+
+        if required_order is None:
+            required_order = tuple(guaranteed_order(initial_plan))
+        memo = Memo()
+        root = memo.insert_tree(initial_plan)
+        self._explore(memo)
+        root = memo.find(root)
+        table: dict = {}
+        choices: list[_Choice] = []
+        seen: set[tuple] = set()
+        for element in memo.class_of(root).elements:
+            element_key = element.key(memo)
+            if element_key in seen:
+                continue
+            seen.add(element_key)
+            choice = self._element_choice(
+                memo, element, initial_plan.location, required_order, table
+            )
+            if choice is None and required_order:
+                choice = self._element_choice(
+                    memo, element, initial_plan.location, (), table
+                )
+            if choice is not None:
+                choices.append(choice)
+        choices.sort(key=lambda choice: choice.cost)
+        plans: list[tuple[Operator, float]] = []
+        distinct: set[tuple] = set()
+        for choice in choices:
+            key = choice.plan.cache_key
+            if key in distinct:
+                continue
+            distinct.add(key)
+            try:
+                validate_plan(choice.plan)
+            except PlanValidityError:
+                continue
+            plans.append((choice.plan, choice.cost))
+            if len(plans) >= k:
+                break
+        return plans
+
     # -- phase 1: rule fixpoint ------------------------------------------------------------
 
     def _explore(self, memo: Memo) -> int:

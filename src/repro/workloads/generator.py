@@ -1,8 +1,10 @@
 """Parameterized generation of synthetic temporal relations.
 
 Used for Section 3.3's worked selectivity example (uniform 7-day periods
-over 1995-2000), for calibration workloads, and as a building block for
-property-based tests.
+over 1995-2000), for calibration workloads, as a building block for
+property-based tests, and — via the randomized UIS-shaped specs at the
+bottom — as the relation source of the :mod:`repro.fuzz` differential
+fuzzer.
 """
 
 from __future__ import annotations
@@ -62,4 +64,111 @@ def generate_rows(spec: TemporalRelationSpec) -> list[tuple]:
                 start + duration,
             )
         )
+    return rows
+
+
+# -- randomized UIS-shaped relations (the fuzzer's schema space) -----------------------
+
+#: Word pool for STR columns; small so equality predicates actually select.
+_WORDS = ("alpha", "beta", "gamma", "delta", "omega", "sigma")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One non-period column of a randomized temporal relation."""
+
+    name: str
+    type: AttrType
+    #: Distinct values drawn for the column (keys small, values larger).
+    distinct: int = 8
+
+
+@dataclass(frozen=True)
+class RandomRelationSpec:
+    """A randomized UIS-shaped temporal relation: a few key/value columns
+    followed by a closed-open ``T1``/``T2`` validity period.
+
+    "UIS-shaped" means the shape of the paper's POSITION relation: integer
+    keys with skewed distributions, a couple of payload columns of mixed
+    types, and day-granularity periods inside a bounded window.
+    """
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    cardinality: int
+    window_start: int
+    window_end: int
+    min_duration: int = 1
+    max_duration: int = 60
+    #: Probability mass concentrated on the first ``distinct // 4`` values
+    #: of each INT column (the paper's hot-key skew; 0 = uniform).
+    skew: float = 0.5
+    seed: int = 0
+
+    @property
+    def schema(self) -> Schema:
+        attributes = [Attribute(c.name, c.type) for c in self.columns]
+        attributes.append(Attribute("T1", AttrType.DATE))
+        attributes.append(Attribute("T2", AttrType.DATE))
+        return Schema(attributes)
+
+
+def random_relation_spec(
+    rng: random.Random,
+    name: str,
+    max_rows: int = 40,
+    max_extra_columns: int = 2,
+) -> RandomRelationSpec:
+    """Draw a random UIS-shaped relation spec from *rng*.
+
+    Every relation has at least one INT key column (join fodder), up to
+    *max_extra_columns* payload columns of random type, and a period.
+    """
+    columns = [ColumnSpec("K0", AttrType.INT, distinct=rng.choice((3, 5, 8)))]
+    for index in range(rng.randint(0, max_extra_columns)):
+        attr_type = rng.choice((AttrType.INT, AttrType.FLOAT, AttrType.STR))
+        distinct = rng.choice((2, 4, 6)) if attr_type is AttrType.STR else 10
+        columns.append(ColumnSpec(f"V{index}", attr_type, distinct=distinct))
+    window_start = day_of("1995-01-01") + rng.randint(0, 365)
+    window_span = rng.choice((30, 120, 365))
+    return RandomRelationSpec(
+        name=name,
+        columns=tuple(columns),
+        cardinality=rng.randint(3, max_rows),
+        window_start=window_start,
+        window_end=window_start + window_span,
+        min_duration=1,
+        max_duration=max(2, window_span // 3),
+        skew=rng.choice((0.0, 0.5, 0.8)),
+        seed=rng.randrange(2**31),
+    )
+
+
+def _random_value(rng: random.Random, column: ColumnSpec, skew: float) -> object:
+    if column.type is AttrType.STR:
+        return _WORDS[rng.randrange(min(column.distinct, len(_WORDS)))]
+    if column.type is AttrType.FLOAT:
+        return round(rng.uniform(0.0, column.distinct), 2)
+    hot = max(1, column.distinct // 4)
+    if skew > 0 and rng.random() < skew:
+        return rng.randrange(hot)
+    return rng.randrange(column.distinct)
+
+
+def generate_relation_rows(spec: RandomRelationSpec) -> list[tuple]:
+    """Rows for a :class:`RandomRelationSpec` (deterministic per seed).
+
+    Periods satisfy the temporal-relation invariant ``T1 < T2`` and lie
+    inside the spec's window.
+    """
+    rng = random.Random(spec.seed)
+    rows: list[tuple] = []
+    for _ in range(spec.cardinality):
+        duration = rng.randint(spec.min_duration, spec.max_duration)
+        latest_start = max(spec.window_start, spec.window_end - duration)
+        start = rng.randint(spec.window_start, latest_start)
+        values = tuple(
+            _random_value(rng, column, spec.skew) for column in spec.columns
+        )
+        rows.append(values + (start, start + duration))
     return rows

@@ -1,0 +1,36 @@
+"""Tier-1 smoke: a capped fuzzing run over healthy code stays green.
+
+The nightly CI job runs ``python -m repro.fuzz`` with a much larger
+budget; this test keeps a small always-on slice of that coverage inside
+the regular suite.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.harness import FuzzHarness
+from repro.fuzz.__main__ import main
+
+SMOKE_BUDGET = 40
+
+
+def test_smoke_run_is_green():
+    report = FuzzHarness(seed=0, budget=SMOKE_BUDGET).run()
+    assert report.ok, report.summary()
+    assert report.cases_run > 0
+    assert report.executions >= SMOKE_BUDGET
+
+
+def test_smoke_run_is_deterministic():
+    first = FuzzHarness(seed=0, budget=15).run()
+    second = FuzzHarness(seed=0, budget=15).run()
+    assert first.ok and second.ok
+    assert first.cases_run == second.cases_run
+    assert first.executions == second.executions
+
+
+def test_cli_entry_point(capsys):
+    status = main(["--seed", "0", "--budget", "10"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "repro.fuzz seed=0" in out
+    assert "0 failure(s)" in out

@@ -12,6 +12,7 @@ from repro.core.plans import compile_plan
 from repro.core.tango import Tango, TangoConfig
 from repro.dbms.database import MiniDB
 from repro.errors import TransientError
+from repro.fuzz.compare import canonical_rows
 from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
 from repro.workloads import queries
 from repro.workloads.uis import load_uis
@@ -57,6 +58,11 @@ def assert_no_leaked_temp_tables(db):
     assert leaked == [], f"leaked temp tables: {leaked}"
 
 
+def assert_same_rows(actual, expected):
+    """Canonical multiset comparison (the fuzzer oracle's helper)."""
+    assert canonical_rows(actual) == canonical_rows(expected)
+
+
 class TestSerialParallelEquivalence:
     @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
     @pytest.mark.parametrize("workers", [1, 2, 4])
@@ -64,14 +70,14 @@ class TestSerialParallelEquivalence:
     def test_same_rows_at_every_degree(
         self, parallel_db, baseline, name, workers, strategy
     ):
-        # Sorted comparison: the parallel cost terms may legitimately pick
-        # a different (cheaper) plan, which can reorder rows that tie
+        # Multiset comparison: the parallel cost terms may legitimately
+        # pick a different (cheaper) plan, which can reorder rows that tie
         # under the query's ORDER BY.  The row multiset must be identical.
         tango = Tango(
             parallel_db,
             config=TangoConfig(workers=workers, partition_strategy=strategy),
         )
-        assert sorted(run(tango, name)) == sorted(baseline[name])
+        assert_same_rows(run(tango, name), baseline[name])
         assert_no_leaked_temp_tables(parallel_db)
         tango.close()
 
@@ -94,7 +100,7 @@ class TestSerialParallelEquivalence:
             parallel_db,
             config=TangoConfig(workers=4, partition_strategy=strategy),
         )
-        assert run(tango, "Q1") == baseline["Q1"]
+        assert_same_rows(run(tango, "Q1"), baseline["Q1"])
         assert tango.metrics.value("exchange_partitions") >= 2
         tango.close()
 
@@ -217,9 +223,9 @@ class TestRetryBudgetAcrossPartitions:
     ):
         tango = self.make_tango(parallel_db, budget=4)
         result = tango.query(Q1_SQL)
-        # The initial plan orders groups only by PosID; compare as sets of
-        # constant intervals (as the chaos fallback test does).
-        assert sorted(result.rows) == sorted(baseline["Q1"])
+        # The initial plan orders groups only by PosID; compare as a
+        # multiset of constant intervals (as the chaos fallback test does).
+        assert_same_rows(result.rows, baseline["Q1"])
         assert tango.metrics.value("fallbacks") == 1
         assert_no_leaked_temp_tables(parallel_db)
         tango.close()
@@ -257,7 +263,7 @@ class TestParallelChaosEquivalence:
             fault_injector=injector,
         )
         for name in ("Q1", "Q2", "Q3", "Q4"):
-            assert sorted(run(tango, name)) == sorted(baseline[name])
+            assert_same_rows(run(tango, name), baseline[name])
         assert injector.faults_injected > 0
         assert tango.metrics.value("fallbacks") == 0
         assert_no_leaked_temp_tables(parallel_db)

@@ -1,0 +1,92 @@
+"""MetricsRegistry under concurrency: the exchange-pool usage pattern.
+
+Producer threads create instruments on first use while the main thread
+snapshots, renders, and resets the registry — exactly what happens when a
+partition-parallel query reports into the same registry a test or the
+facade is reading.  Dict growth during iteration must never escape as a
+``RuntimeError`` and snapshots must be internally consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_snapshot_and_reset_race_instrument_creation():
+    registry = MetricsRegistry()
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer(tag: int) -> None:
+        serial = 0
+        try:
+            while not stop.is_set():
+                # Fresh names force dict growth on every lap — the case a
+                # mid-iteration snapshot used to blow up on.
+                registry.counter(f"counter_{tag}_{serial}").inc()
+                registry.histogram(f"histogram_{tag}_{serial}").observe(serial)
+                serial += 1
+        except BaseException as error:  # noqa: BLE001 - reported to the test
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=writer, args=(tag,)) for tag in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(300):
+            snapshot = registry.to_dict()
+            assert set(snapshot) == {"counters", "histograms"}
+            registry.render()
+            registry.reset()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert not errors, errors
+
+
+def test_concurrent_increments_are_not_lost():
+    registry = MetricsRegistry()
+    laps = 2000
+
+    def worker() -> None:
+        for _ in range(laps):
+            registry.counter("shared").inc()
+            registry.histogram("observed").observe(1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.value("shared") == 4 * laps
+    summary = registry.to_dict()["histograms"]["observed"]
+    assert summary["count"] == 4 * laps
+    assert summary["total"] == 4 * laps * 1.0
+    assert summary["mean"] == 1.0
+
+
+def test_histogram_snapshot_is_consistent_under_writes():
+    registry = MetricsRegistry()
+    stop = threading.Event()
+
+    def writer() -> None:
+        while not stop.is_set():
+            registry.histogram("h").observe(3.0)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(500):
+            summary = registry.histogram("h").to_dict()
+            if summary["count"]:
+                # count and total move together or not at all.
+                assert summary["total"] == summary["count"] * 3.0
+                assert summary["mean"] == 3.0
+    finally:
+        stop.set()
+        thread.join()

@@ -1,9 +1,10 @@
 """Unit tests for order properties — Section 4's list/multiset discipline."""
 
-from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.expressions import BinOp, Comparison, col, lit
 from repro.algebra.operators import (
     Join,
     Location,
+    Project,
     Scan,
     Select,
     Sort,
@@ -82,6 +83,37 @@ class TestGuaranteedOrder:
         right = TransferM(Sort(scan(), Location.DBMS, ("PosID",)))
         join = Join(left, right, Location.MIDDLEWARE, "PosID", "PosID")
         assert guaranteed_order(join) == ("PosID",)
+
+    def test_projection_keeps_order_of_passthrough_columns(self):
+        sorted_in_mw = TransferM(Sort(scan(), Location.DBMS, ("PosID", "T1")))
+        project = Project.of_columns(
+            sorted_in_mw, ["PosID", "T1"], Location.MIDDLEWARE
+        )
+        assert guaranteed_order(project) == ("PosID", "T1")
+
+    def test_renaming_projection_carries_order_to_the_output_name(self):
+        # A renaming projection moves the ordered values to a new column:
+        # the guarantee must follow the *output* name.  (Found by the
+        # differential fuzzer on E2's compensating projection, which swaps
+        # the two join sides' columns.)
+        sorted_in_mw = TransferM(Sort(scan(), Location.DBMS, ("PosID",)))
+        swap = Project(
+            sorted_in_mw,
+            Location.MIDDLEWARE,
+            (("PosID", col("T1")), ("T1", col("PosID")), ("T2", col("T2"))),
+        )
+        assert guaranteed_order(swap) == ("T1",)
+
+    def test_projection_of_computed_expression_drops_order(self):
+        # The ordered column only survives as a *bare* reference; an
+        # arithmetic wrapper computes new values in a new order.
+        sorted_in_mw = TransferM(Sort(scan(), Location.DBMS, ("PosID",)))
+        computed = Project(
+            sorted_in_mw,
+            Location.MIDDLEWARE,
+            (("PosID", BinOp("+", col("PosID"), lit(1))), ("T1", col("T1"))),
+        )
+        assert guaranteed_order(computed) == ()
 
 
 class TestSatisfiesOrder:

@@ -1,0 +1,272 @@
+"""Table-driven property checks: one minimal plan per transformation rule.
+
+For every rule in :func:`repro.optimizer.rules.default_rules` there is one
+minimal left-hand-side plan the rule fires on.  After applying the rule to
+a seeded memo, every plan derivable from the root class must
+
+* **preserve the schema** — same attribute names and types in the same
+  order (an equivalence rewrite never changes the relation's shape);
+* **preserve the declared order** when the rule claims list equivalence
+  (``equivalence == "L"``): the original plan's guaranteed order stays a
+  prefix of every alternative's;
+* **compute the same multiset of rows** — every executable alternative is
+  run against a small concrete database (rows with duplicates and
+  adjacent periods, so dedup/coalesce rewrites are actually exercised)
+  and compared with canonical multiset semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.operators import (
+    AggregateSpec,
+    Coalesce,
+    Dedup,
+    Join,
+    Location,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    TemporalAggregate,
+    TemporalJoin,
+    TransferD,
+    TransferM,
+)
+from repro.algebra.properties import guaranteed_order, is_prefix_of
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.dbms.database import MiniDB
+from repro.errors import ReproError
+from repro.fuzz.compare import canonical_rows
+from repro.fuzz.oracle import execute_with_config
+from repro.optimizer.memo import Memo
+from repro.optimizer.physical import PlanValidityError, validate_plan
+from repro.optimizer.rules import default_rules
+
+MW = Location.MIDDLEWARE
+DB = Location.DBMS
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("V", AttrType.INT),
+        Attribute("T1", AttrType.DATE),
+        Attribute("T2", AttrType.DATE),
+    ]
+)
+
+#: Duplicates and adjacent periods on purpose: dedup and coalesce rewrites
+#: must be told apart from the identity.
+ROWS = [
+    (1, 5, 10, 20),
+    (1, 5, 10, 20),
+    (1, 5, 20, 30),
+    (2, 7, 10, 15),
+    (2, 9, 40, 50),
+    (3, 5, 5, 45),
+]
+
+
+def scan() -> Scan:
+    return Scan("R", SCHEMA)
+
+
+def mw_sorted() -> TransferM:
+    """A middleware-resident input sorted on all attributes.
+
+    The sort keys cover the ``(value attributes, T1)`` prerequisite of the
+    streaming middleware coalesce, so coalesce/dedup towers built on top
+    stay executable after a rewrite peels layers off.
+    """
+    return TransferM(Sort(scan(), DB, ("K", "V", "T1", "T2")))
+
+
+#: Three snapshot relations with pairwise-disjoint attribute names: E3's
+#: provenance guard refuses to reassociate when any names collide, so the
+#: usual self-join shapes can never fire it.
+SCHEMA_A = Schema([Attribute("A_K", AttrType.INT), Attribute("A_V", AttrType.INT)])
+SCHEMA_B = Schema([Attribute("B_K", AttrType.INT), Attribute("B_V", AttrType.INT)])
+SCHEMA_C = Schema([Attribute("C_K", AttrType.INT), Attribute("C_V", AttrType.INT)])
+ROWS_A = [(1, 10), (2, 20), (3, 30)]
+ROWS_B = [(1, 100), (1, 101), (2, 200)]
+ROWS_C = [(1, 7), (2, 8), (8, 9)]
+
+
+def _minimal_plan(name: str) -> Operator:
+    """The minimal LHS the rule named *name* fires on."""
+    v_lt_5 = Comparison("<", col("V"), lit(5))
+    plans = {
+        "T1": TemporalAggregate(scan(), DB, ("K",), (AggregateSpec("COUNT", "K"),)),
+        "T2": Join(scan(), scan(), DB, "K", "K"),
+        "T3": TemporalJoin(scan(), scan(), DB, "K", "K"),
+        "T4": TransferM(Select(scan(), DB, v_lt_5)),
+        "T5": TransferM(Project.of_columns(scan(), ["K", "V"])),
+        "T6": TransferM(Sort(scan(), DB, ("K",))),
+        "T7": TransferM(TransferD(TransferM(scan()))),
+        "T8": TransferD(TransferM(scan())),
+        "T9": Project.of_columns(scan(), ["K", "V", "T1", "T2"]),
+        "T11": Sort(scan(), DB, ("K",)),
+        "T12": Sort(Sort(scan(), DB, ("K",)), DB, ("K", "T1")),
+        "E1": Select(Project.of_columns(scan(), ["K", "V"]), DB, v_lt_5),
+        "E2": Join(Project.of_columns(scan(), ["K"]), scan(), DB, "K", "K"),
+        "E3": Join(
+            Join(
+                Scan("A", SCHEMA_A), Scan("B", SCHEMA_B), DB, "A_K", "B_K"
+            ),
+            Scan("C", SCHEMA_C),
+            DB,
+            "B_K",  # outer join attribute from r2: E3's provenance guard
+            "C_K",
+        ),
+        "E4": Select(Sort(TransferM(scan()), MW, ("K",)), MW, v_lt_5),
+        "E5": Project.of_columns(Sort(TransferM(scan()), MW, ("K",)), ["K", "V"], MW),
+        "P1": Select(
+            Join(scan(), scan(), DB, "K", "K"),
+            DB,
+            Comparison("<", col("V"), lit(5))
+            & Comparison("<", col("V_2"), lit(9)),
+        ),
+        "P2": Select(
+            TemporalJoin(scan(), scan(), DB, "K", "K"),
+            DB,
+            Comparison("<", col("T1"), lit(100))
+            & Comparison(">", col("T2"), lit(50)),
+        ),
+        "X1": Coalesce(scan(), DB),
+        "X2": Coalesce(Coalesce(mw_sorted(), MW), MW),
+        "X3": Coalesce(Dedup(mw_sorted(), MW), MW),
+        "X4": Dedup(Coalesce(mw_sorted(), MW), MW),
+        "X5": Dedup(Dedup(mw_sorted(), MW), MW),
+    }
+    return plans[name]
+
+
+def _apply_until_fired(rule, plan: Operator) -> tuple[Memo, int, bool]:
+    """Apply *rule* to saturation; report whether it ever fired.
+
+    Firing must be read off ``apply``'s return value: merge rules (T8, T9,
+    T11, X2, X4, X5) collapse two classes into one instead of adding
+    elements, so the root class can end up with *fewer* derivable plans
+    than the input had.
+    """
+    memo = Memo()
+    root = memo.insert_tree(plan)
+    fired = False
+    for _ in range(3):  # some rules need an enabling pass
+        changed = False
+        for eq_class in memo.classes():
+            for element in list(eq_class.elements):
+                if rule.apply(memo, memo.find(eq_class.id), element):
+                    changed = True
+        fired = fired or changed
+        if not changed:
+            break
+    return memo, memo.find(root), fired
+
+
+def _plans_of(memo: Memo, class_id: int, stack: frozenset = frozenset(), cap: int = 24):
+    """All concrete plans of a class, cycle-safe and capped."""
+    class_id = memo.find(class_id)
+    if class_id in stack:
+        return []
+    stack = stack | {class_id}
+    plans: list[Operator] = []
+    for element in memo.class_of(class_id).elements:
+        child_options = [
+            _plans_of(memo, child, stack, cap) for child in element.children
+        ]
+        if any(not options for options in child_options):
+            continue
+        for combo in itertools.product(*child_options):
+            try:
+                plans.append(
+                    element.template.with_inputs(*combo)
+                    if element.children
+                    else element.template
+                )
+            except ReproError:
+                continue
+            if len(plans) >= cap:
+                return plans
+    return plans
+
+
+def _executable(plan: Operator) -> Operator | None:
+    """Wrap *plan* into a middleware-rooted, valid plan; None if impossible."""
+    candidate = plan if plan.location is MW else TransferM(plan)
+    try:
+        validate_plan(candidate)
+    except PlanValidityError:
+        return None
+    return candidate
+
+
+def _database() -> MiniDB:
+    db = MiniDB()
+    for name, schema, rows in (
+        ("R", SCHEMA, ROWS),
+        ("A", SCHEMA_A, ROWS_A),
+        ("B", SCHEMA_B, ROWS_B),
+        ("C", SCHEMA_C, ROWS_C),
+    ):
+        db.create_table(name, schema)
+        db.table(name).bulk_load(rows)
+        db.analyze(name)
+    return db
+
+
+@pytest.mark.parametrize("rule", default_rules(), ids=lambda rule: rule.name)
+def test_rule_preserves_schema_order_and_rows(rule):
+    original = _minimal_plan(rule.name)
+    memo, root, fired = _apply_until_fired(rule, original)
+    assert fired, f"{rule.name} did not fire on its minimal plan"
+    alternatives = _plans_of(memo, root)
+    assert alternatives, f"{rule.name}: no plan derivable from the root class"
+
+    expected_schema = [
+        (attribute.name.upper(), attribute.type) for attribute in original.schema
+    ]
+    original_order = tuple(guaranteed_order(original))
+    for alternative in alternatives:
+        produced = [
+            (attribute.name.upper(), attribute.type)
+            for attribute in alternative.schema
+        ]
+        assert produced == expected_schema, (
+            f"{rule.name} changed the schema:\n{alternative.pretty()}"
+        )
+        if rule.equivalence == "L" and original_order:
+            assert is_prefix_of(
+                original_order, guaranteed_order(alternative)
+            ), (
+                f"{rule.name} claims list equivalence but loses the order "
+                f"{original_order}:\n{alternative.pretty()}"
+            )
+
+    # Differential execution: the original and every executable alternative
+    # compute the same multiset of rows.  The original is executed
+    # explicitly because after a class merge it may no longer be derivable
+    # from the memo (the merged element references its own class).
+    executable = [
+        wrapped
+        for wrapped in (
+            _executable(plan) for plan in [original, *alternatives]
+        )
+        if wrapped is not None
+    ]
+    results = []
+    for plan in executable:
+        try:
+            results.append(canonical_rows(execute_with_config(_database(), plan)))
+        except ReproError:
+            continue  # no algorithm for this shape (e.g. COAL^D)
+    assert results, f"{rule.name}: no alternative was executable"
+    for result in results[1:]:
+        assert result == results[0], (
+            f"{rule.name} produced multiset-inequivalent plans"
+        )

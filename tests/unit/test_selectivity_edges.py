@@ -1,0 +1,226 @@
+"""Edge cases for the Section 3.3 estimators: StartBefore/EndBefore and
+the temporal selectivities built on them.
+
+Every estimate must stay a valid selectivity (in ``[0, 1]`` after
+normalization, in ``[0, cardinality]`` as a tuple count) and degrade to
+the documented defaults when statistics are missing — empty or absent
+histograms, single-bucket histograms, all-ties columns (``min == max``)
+and predicate intervals entirely outside the data range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.stats.collector import AttributeStats, RelationStats
+from repro.stats.histogram import Histogram, build_height_balanced
+from repro.stats.selectivity import (
+    DEFAULT_SELECTIVITY,
+    PredicateEstimator,
+    end_before,
+    naive_overlaps_selectivity,
+    overlaps_selectivity,
+    start_before,
+    timeslice_selectivity,
+)
+from repro.algebra.expressions import Comparison, col, lit
+
+CARD = 100.0
+
+
+def relation(
+    t1: AttributeStats | None = None,
+    t2: AttributeStats | None = None,
+    cardinality: float = CARD,
+) -> RelationStats:
+    attributes = {}
+    if t1 is not None:
+        attributes["t1"] = t1
+    if t2 is not None:
+        attributes["t2"] = t2
+    return RelationStats(cardinality, avg_row_size=32, attributes=attributes)
+
+
+def uniform(name: str, low: float, high: float) -> AttributeStats:
+    return AttributeStats(name=name, min_value=low, max_value=high, distinct=10)
+
+
+# -- StartBefore / EndBefore -------------------------------------------------------
+
+
+def test_start_before_without_any_statistics_uses_default():
+    stats = relation()  # T1 entirely unknown: no min/max, no histogram
+    assert start_before(50, stats) == CARD * DEFAULT_SELECTIVITY
+
+
+def test_start_before_interpolates_between_min_and_max():
+    stats = relation(t1=uniform("T1", 0, 100))
+    assert start_before(50, stats) == pytest.approx(CARD / 2)
+
+
+def test_start_before_clamps_below_and_above_the_range():
+    stats = relation(t1=uniform("T1", 10, 20))
+    assert start_before(-1000, stats) == 0.0
+    assert start_before(1000, stats) == CARD
+
+
+def test_start_before_all_ties_column_is_a_step_function():
+    # min == max: every tuple carries the same timestamp, so the estimate
+    # must be all-or-nothing, never a division by a zero-width range.
+    stats = relation(t1=uniform("T1", 42, 42))
+    assert start_before(42, stats) == 0.0
+    assert start_before(43, stats) == CARD
+
+
+def test_end_before_is_start_before_on_t2():
+    stats = relation(t2=uniform("T2", 0, 100))
+    assert end_before(25, stats) == pytest.approx(start_before(25, stats, "T2"))
+
+
+def test_start_before_with_zero_count_histogram_estimates_zero():
+    empty_mass = Histogram(bounds=(0.0, 100.0), counts=(0,))
+    stats = relation(
+        t1=AttributeStats(name="T1", min_value=0, max_value=100, histogram=empty_mass)
+    )
+    assert start_before(50, stats) == 0.0
+
+
+def test_histogram_with_no_buckets_is_rejected_at_construction():
+    with pytest.raises(ReproError):
+        Histogram(bounds=(0.0,), counts=())
+
+
+def test_start_before_single_bucket_histogram_interpolates():
+    one_bucket = Histogram(bounds=(0.0, 100.0), counts=(100,))
+    stats = relation(t1=AttributeStats(name="T1", histogram=one_bucket))
+    assert start_before(25, stats) == pytest.approx(CARD / 4)
+    assert start_before(-5, stats) == 0.0
+    assert start_before(500, stats) == CARD
+
+
+def test_start_before_degenerate_single_value_histogram():
+    # All mass on one point (bounds collapse): built from an all-ties column.
+    spike = build_height_balanced([7.0] * 50, num_buckets=4)
+    stats = relation(t1=AttributeStats(name="T1", histogram=spike))
+    assert start_before(7, stats) == 0.0
+    assert start_before(8, stats) == CARD
+
+
+# -- temporal selectivities --------------------------------------------------------
+
+
+def _temporal_stats(**overrides) -> RelationStats:
+    return relation(
+        t1=overrides.get("t1", uniform("T1", 0, 100)),
+        t2=overrides.get("t2", uniform("T2", 0, 100)),
+        cardinality=overrides.get("cardinality", CARD),
+    )
+
+
+@pytest.mark.parametrize(
+    "start,end",
+    [(-500, -400), (400, 500), (0, 100), (-10, 110), (50, 50)],
+    ids=["before-range", "after-range", "exact-range", "covering", "instant"],
+)
+def test_overlaps_selectivity_stays_in_unit_interval(start, end):
+    stats = _temporal_stats()
+    estimate = overlaps_selectivity(start, end, stats)
+    assert 0.0 <= estimate <= 1.0
+
+
+def test_overlaps_entirely_before_the_data_is_zero():
+    stats = _temporal_stats()
+    assert overlaps_selectivity(-500, -400, stats) == 0.0
+
+
+def test_overlaps_covering_the_whole_range_is_one():
+    stats = _temporal_stats()
+    assert overlaps_selectivity(-10, 200, stats) == pytest.approx(1.0)
+
+
+def test_overlaps_on_empty_relation_is_zero():
+    stats = _temporal_stats(cardinality=0.0)
+    assert overlaps_selectivity(0, 100, stats) == 0.0
+    assert timeslice_selectivity(50, stats) == 0.0
+    assert naive_overlaps_selectivity(0, 100, stats) == 0.0
+
+
+def test_overlaps_all_ties_periods():
+    # Every tuple is [42, 43): a window touching 42 selects everything,
+    # a window strictly after 42 selects nothing.
+    stats = _temporal_stats(t1=uniform("T1", 42, 42), t2=uniform("T2", 43, 43))
+    assert overlaps_selectivity(40, 41, stats) == 0.0
+    assert overlaps_selectivity(42, 100, stats) == pytest.approx(1.0)
+    assert overlaps_selectivity(50, 60, stats) == 0.0
+
+
+def test_timeslice_stays_in_unit_interval_out_of_range():
+    stats = _temporal_stats()
+    for instant in (-1000, -1, 0, 50, 100, 1000):
+        estimate = timeslice_selectivity(instant, stats)
+        assert 0.0 <= estimate <= 1.0
+    assert timeslice_selectivity(-1000, stats) == 0.0
+
+
+def test_naive_overlaps_stays_in_unit_interval():
+    stats = _temporal_stats()
+    for start, end in ((-500, -400), (400, 500), (0, 100), (-10, 110)):
+        estimate = naive_overlaps_selectivity(start, end, stats)
+        assert 0.0 <= estimate <= 1.0
+
+
+def test_semantic_beats_naive_on_short_periods():
+    # The paper's point: short periods near the query window make the
+    # independence assumption overestimate; the semantic estimate is never
+    # larger on the uniform model.
+    stats = _temporal_stats(t1=uniform("T1", 0, 100), t2=uniform("T2", 1, 101))
+    semantic = overlaps_selectivity(40, 41, stats)
+    naive = naive_overlaps_selectivity(40, 41, stats)
+    assert semantic <= naive
+
+
+# -- PredicateEstimator degradation -----------------------------------------------
+
+
+def test_predicate_estimator_without_statistics_uses_defaults():
+    stats = relation()  # nothing known about any attribute
+    estimator = PredicateEstimator()
+    predicate = Comparison("<", col("T1"), lit(10)) & Comparison(
+        ">", col("T2"), lit(5)
+    )
+    estimate = estimator.estimate(predicate, stats)
+    assert 0.0 <= estimate <= 1.0
+
+
+def test_predicate_estimator_on_empty_relation_is_bounded():
+    stats = relation(cardinality=0.0)
+    estimator = PredicateEstimator()
+    estimate = estimator.estimate(Comparison("=", col("K"), lit(1)), stats)
+    assert 0.0 <= estimate <= 1.0
+
+
+def test_predicate_estimator_out_of_range_overlap_is_zero():
+    stats = _temporal_stats()
+    estimator = PredicateEstimator()
+    predicate = Comparison("<", col("T1"), lit(-400)) & Comparison(
+        ">", col("T2"), lit(-500)
+    )
+    assert estimator.estimate(predicate, stats) == 0.0
+
+
+def test_predicate_estimator_histograms_off_matches_interpolation():
+    histogram = build_height_balanced(list(range(100)), num_buckets=10)
+    stats = relation(
+        t1=AttributeStats(
+            name="T1", min_value=0, max_value=99, distinct=100, histogram=histogram
+        )
+    )
+    with_hist = PredicateEstimator(use_histograms=True)
+    without = PredicateEstimator(use_histograms=False)
+    predicate = Comparison("<", col("T1"), lit(50))
+    for estimator in (with_hist, without):
+        estimate = estimator.estimate(predicate, stats)
+        assert 0.0 <= estimate <= 1.0
+    # Stripping histograms falls back to min/max interpolation.
+    assert without.estimate(predicate, stats) == pytest.approx(50 / 99)
