@@ -14,7 +14,7 @@ whether the resulting plan choice (aggregation/join placement) is stable.
 
 from harness import print_series
 
-from repro.core.tango import Tango
+from repro.core.tango import Tango, TangoConfig
 from repro.temporal.timestamps import day_of
 from repro.workloads.queries import Q2_PERIOD_START, query2_initial_plan
 
@@ -23,8 +23,8 @@ ENDS = ("1986-01-01", "1990-01-01", "1993-01-01", "1996-01-01", "1999-01-01")
 
 def test_histogram_ablation_estimates(benchmark, bench_db):
     def measure():
-        with_hist = Tango(bench_db, use_histograms=True)
-        without = Tango(bench_db, use_histograms=False)
+        with_hist = Tango(bench_db, config=TangoConfig(use_histograms=True))
+        without = Tango(bench_db, config=TangoConfig(use_histograms=False))
         start = day_of(Q2_PERIOD_START)
         position = bench_db.table("POSITION")
         schema = position.schema
@@ -77,7 +77,7 @@ def test_histogram_ablation_choices_stay_sound(benchmark, bench_db):
     def measure():
         outcomes = []
         for use_histograms in (True, False):
-            tango = Tango(bench_db, use_histograms=use_histograms)
+            tango = Tango(bench_db, config=TangoConfig(use_histograms=use_histograms))
             result = tango.optimize(query2_initial_plan(bench_db, "1996-01-01"))
             rows = tango.execute_plan(result.plan).rows
             outcomes.append((use_histograms, result.cost, len(rows)))

@@ -17,7 +17,7 @@ from harness import print_series
 
 from repro.algebra.operators import Location, TemporalJoin
 from repro.core.feedback import FeedbackAdapter
-from repro.core.tango import Tango
+from repro.core.tango import Tango, TangoConfig
 from repro.workloads.queries import query3_initial_plan
 
 import pytest
@@ -69,7 +69,7 @@ def test_feedback_converges_partitioning(benchmark, bench_db, tango):
         return node.location.value
 
     def run():
-        adaptive = Tango(bench_db, adaptive=True, factors=stale)
+        adaptive = Tango(bench_db, config=TangoConfig(adaptive=True), factors=stale)
         adaptive.feedback = FeedbackAdapter(smoothing=0.6)
         history = []
         for round_number in range(12):

@@ -1,0 +1,291 @@
+"""The query service under sustained multi-tenant load, measured.
+
+Three experiments against one shared scaled-UIS database:
+
+* **sustained mixed traffic** — eight closed-loop tenants (one query in
+  flight each) submit a Query 1–4 mix for ``BENCH_SERVICE_SECONDS``;
+  gated on p50/p95/p99 end-to-end latency (submit → result) and on
+  overall throughput.  This is the serving-layer headline: concurrency
+  without starvation, bounded tails.
+* **weighted fairness** — a weight-1 batch tenant floods the queue, a
+  weight-8 interactive tenant arrives late; the interactive tenant's
+  mean queue wait must stay well under the batch tenant's.  A
+  low-priority tenant cannot starve a high-priority one.
+* **sickness shedding** — with every DBMS round trip faulted and
+  fallback off, the health monitor classifies the backend SICK and new
+  admissions are refused with :class:`~repro.errors.BackendSickError`
+  (counted in ``service_shed_total``) instead of queueing unboundedly.
+
+Latency gates default to generous values so the benchmark is a tripwire
+for regressions, not a flaky wall-clock test; CI's smoke job tightens the
+duration, not the gates.  Numbers land in ``BENCH_SERVICE_JSON`` (default
+``bench_service_results.json``) so CI can archive the percentile series.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.tango import TangoConfig
+from repro.errors import BackendSickError, QueueFullError, ReproError
+from repro.resilience import FaultInjector, FaultPolicy, RetryPolicy
+from repro.resilience.health import BackendState, HealthPolicy
+from repro.service import QueryService, ServiceConfig, TenantSpec
+from repro.workloads.queries import (
+    query1_sql,
+    query2_initial_plan,
+    query3_initial_plan,
+    query4_initial_plan,
+)
+
+#: Wall-clock seconds of sustained traffic (CI smoke shortens this).
+DURATION = float(os.environ.get("BENCH_SERVICE_SECONDS", "6"))
+#: Concurrent closed-loop tenants (the ISSUE floor is 8).
+TENANTS = int(os.environ.get("BENCH_SERVICE_TENANTS", "8"))
+#: Worker threads inside the service.
+CONCURRENCY = int(os.environ.get("BENCH_SERVICE_CONCURRENCY", "4"))
+#: Latency gates, seconds (generous tripwires, not tight SLOs).
+P95_GATE = float(os.environ.get("BENCH_SERVICE_P95", "5.0"))
+P99_GATE = float(os.environ.get("BENCH_SERVICE_P99", "10.0"))
+#: Minimum sustained queries/second across all tenants.
+MIN_QPS = float(os.environ.get("BENCH_SERVICE_MIN_QPS", "1.0"))
+RESULTS_PATH = os.environ.get("BENCH_SERVICE_JSON", "bench_service_results.json")
+
+
+def record(section: str, payload: dict) -> None:
+    """Merge one test's numbers into the shared JSON results file."""
+    results = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            results = json.load(handle)
+    results[section] = payload
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The q-quantile (0..1) by nearest-rank on sorted samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def mixed_workload(db) -> list:
+    """The Query 1–4 mix every tenant cycles through: temporal SQL plus
+    three initial plans (the service admits either form)."""
+    return [
+        query1_sql(),
+        query2_initial_plan(db, "1996-01-01"),
+        query3_initial_plan(db, "1998-01-01"),
+        query4_initial_plan(db),
+    ]
+
+
+def test_sustained_mixed_traffic(bench_db):
+    workload = mixed_workload(bench_db)
+    config = ServiceConfig(
+        max_concurrency=CONCURRENCY,
+        queue_limit=TENANTS * 4,
+        tenants=tuple(
+            # Half the fleet carries double weight, so the fair-share
+            # path (not plain FIFO) is what gets measured.
+            TenantSpec(f"tenant{index}", weight=2 if index % 2 else 1)
+            for index in range(TENANTS)
+        ),
+    )
+    latencies: dict[str, list[float]] = {
+        f"tenant{index}": [] for index in range(TENANTS)
+    }
+    errors: list[BaseException] = []
+
+    with QueryService(bench_db, config) as service:
+        deadline = time.monotonic() + DURATION
+
+        def tenant_loop(name: str, offset: int) -> None:
+            step = offset
+            try:
+                while time.monotonic() < deadline:
+                    handle = service.submit(
+                        workload[step % len(workload)], tenant=name
+                    )
+                    handle.result(timeout=120)
+                    latencies[name].append(handle.total_seconds)
+                    step += 1
+            except BaseException as error:  # noqa: BLE001 - reported below
+                errors.append(error)
+
+        begin = time.monotonic()
+        threads = [
+            threading.Thread(
+                target=tenant_loop, args=(f"tenant{index}", index)
+            )
+            for index in range(TENANTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - begin
+        snapshot = service.snapshot()
+
+    assert not errors, f"tenant loops failed: {errors[:3]}"
+    all_latencies = [
+        sample for samples in latencies.values() for sample in samples
+    ]
+    completed = len(all_latencies)
+    qps = completed / elapsed
+    p50 = percentile(all_latencies, 0.50)
+    p95 = percentile(all_latencies, 0.95)
+    p99 = percentile(all_latencies, 0.99)
+    print(
+        f"\nservice sustained load: {TENANTS} tenants x {elapsed:.1f}s -> "
+        f"{completed} queries, {qps:.1f} qps, "
+        f"p50={p50 * 1e3:.1f}ms p95={p95 * 1e3:.1f}ms p99={p99 * 1e3:.1f}ms"
+    )
+    record(
+        "sustained_mixed_traffic",
+        {
+            "tenants": TENANTS,
+            "concurrency": CONCURRENCY,
+            "duration_seconds": elapsed,
+            "completed": completed,
+            "qps": qps,
+            "p50_seconds": p50,
+            "p95_seconds": p95,
+            "p99_seconds": p99,
+            "per_tenant_completed": {
+                name: len(samples) for name, samples in latencies.items()
+            },
+            "snapshot": snapshot,
+        },
+    )
+    # Every tenant made sustained progress — nobody starved outright.
+    assert all(latencies[f"tenant{index}"] for index in range(TENANTS))
+    assert completed >= TENANTS, "each tenant must complete at least once"
+    assert qps >= MIN_QPS, f"throughput collapsed: {qps:.2f} qps < {MIN_QPS}"
+    assert p95 <= P95_GATE, f"p95 {p95:.2f}s blew the {P95_GATE}s gate"
+    assert p99 <= P99_GATE, f"p99 {p99:.2f}s blew the {P99_GATE}s gate"
+
+
+def test_weighted_fairness_no_starvation(bench_db):
+    """A weight-1 flood must not starve a weight-8 tenant (ISSUE gate)."""
+    workload = mixed_workload(bench_db)
+    config = ServiceConfig(
+        max_concurrency=2,
+        queue_limit=256,
+        tenants=(
+            TenantSpec("batch", weight=1),
+            TenantSpec("interactive", weight=8),
+        ),
+    )
+    with QueryService(bench_db, config) as service:
+        flood = [
+            service.submit(workload[index % len(workload)], tenant="batch")
+            for index in range(30)
+        ]
+        probes = [
+            service.submit(workload[index % len(workload)], tenant="interactive")
+            for index in range(10)
+        ]
+        for probe in probes:
+            probe.result(timeout=300)
+        flood_pending_at_probe_done = sum(
+            1 for handle in flood if not handle.done
+        )
+        for handle in flood:
+            handle.result(timeout=300)
+
+    batch_waits = [handle.queue_seconds for handle in flood]
+    interactive_waits = [handle.queue_seconds for handle in probes]
+    mean_batch = sum(batch_waits) / len(batch_waits)
+    mean_interactive = sum(interactive_waits) / len(interactive_waits)
+    print(
+        f"\nfairness: interactive mean wait {mean_interactive * 1e3:.1f}ms vs "
+        f"batch {mean_batch * 1e3:.1f}ms "
+        f"({flood_pending_at_probe_done} flood queries still pending when "
+        f"the last probe finished)"
+    )
+    record(
+        "weighted_fairness",
+        {
+            "mean_batch_wait_seconds": mean_batch,
+            "mean_interactive_wait_seconds": mean_interactive,
+            "flood_pending_when_probes_done": flood_pending_at_probe_done,
+        },
+    )
+    # The high-weight tenant jumped the flood: waits strictly shorter on
+    # average, and a chunk of the earlier-submitted flood still queued.
+    assert mean_interactive < mean_batch
+    assert flood_pending_at_probe_done >= 5
+
+
+def test_sick_backend_sheds_instead_of_queueing(bench_db):
+    """Injected backend sickness: admission shifts to shedding with a
+    distinct error and ``service_shed_total``, queue stays bounded."""
+    injector = FaultInjector(
+        FaultPolicy(round_trip_p=1.0, load_chunk_p=1.0), seed=11
+    )
+    config = ServiceConfig(
+        max_concurrency=2,
+        queue_limit=8,
+        health=HealthPolicy(min_samples=2, window_seconds=600.0),
+    )
+    tango_config = TangoConfig(
+        retry=RetryPolicy(
+            max_attempts=2, base_delay_seconds=0.0, max_delay_seconds=0.0
+        ),
+        fallback=False,
+    )
+    service = QueryService(
+        bench_db, config, tango_config=tango_config, fault_injector=injector
+    )
+    sheds = 0
+    failures = 0
+    try:
+        for _ in range(40):
+            try:
+                handle = service.submit(query1_sql())
+            except BackendSickError:
+                sheds += 1
+                continue
+            except QueueFullError:
+                continue
+            try:
+                handle.result(timeout=120)
+            except ReproError:
+                failures += 1
+        counters = service.metrics.to_dict()["counters"]
+        state = service.health.classify()
+        queued = service.scheduler.queued_total
+    finally:
+        service.close()
+    print(
+        f"\nsickness: {failures} failures drove state={state.value}, "
+        f"{sheds} submissions shed, queue depth {queued}"
+    )
+    record(
+        "sickness_shedding",
+        {
+            "failures": failures,
+            "sheds": sheds,
+            "state": state.value,
+            "shed_total_counter": counters.get("service_shed_total", 0),
+        },
+    )
+    assert failures >= 2, "fault injection should exhaust retries"
+    assert state is BackendState.SICK
+    assert sheds >= 1, "SICK backend must shed new admissions"
+    assert counters.get("service_shed_total", 0) >= sheds
+    assert counters.get("service_shed_sick_total", 0) >= 1
+    assert queued <= config.queue_limit, "the admission queue must stay bounded"
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v", "-s"]))

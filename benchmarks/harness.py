@@ -35,17 +35,24 @@ class Measurement:
 
 
 def run_spec(tango: Tango, spec: PlanSpec) -> Measurement:
-    """Execute one enumerated plan (algebra tree or raw hinted SQL)."""
+    """Execute one enumerated plan (algebra tree or raw hinted SQL).
+
+    Both paths go through Tango and yield a
+    :class:`~repro.core.tango.QueryResult` — hinted SQL takes the stratum
+    passthrough, which is ``db.execute`` plus result packaging.
+    """
     meter = tango.db.meter
     before_ticks = meter.ticks
     begin = time.perf_counter()
     if spec.plan is not None:
-        rows = tango.execute_plan(spec.plan).rows
+        result = tango.execute_plan(spec.plan)
     else:
         assert spec.sql is not None
-        rows = tango.db.query(spec.sql)
+        result = tango.query(spec.sql)
     seconds = time.perf_counter() - begin
-    return Measurement(spec.name, seconds, meter.ticks - before_ticks, len(rows))
+    return Measurement(
+        spec.name, seconds, meter.ticks - before_ticks, len(result.rows)
+    )
 
 
 def print_series(title: str, header: list[str], rows: list[list[object]]) -> None:

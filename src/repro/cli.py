@@ -92,7 +92,9 @@ class Shell:
     def _statement(self, sql: str) -> None:
         begin = time.perf_counter()
         try:
-            result = self.tango.query(sql)
+            # The submit-first API: every statement is a handle whose
+            # result() is the one QueryResult type.
+            result = self.tango.submit(sql).result()
         except ReproError as error:
             self.echo(f"error: {error}")
             return
@@ -101,6 +103,8 @@ class Shell:
             self.echo(format_table(result.schema.names, result.rows))
         else:
             self.echo("ok")
+        if result.degraded:
+            self.echo("note: answered via the all-DBMS fallback plan")
         if self.timing:
             note = ""
             if result.estimated_cost is not None:

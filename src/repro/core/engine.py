@@ -13,10 +13,14 @@ drain, or ``close`` — every step is closed and every ``TRANSFER^D`` temp
 table is dropped before the error propagates, so a mid-query failure never
 leaves ``TANGO_TMP*`` tables behind in the DBMS.
 
-Executions can carry a *deadline*: ``deadline_seconds`` is checked at
-batch boundaries (before each step ``init`` and each drain pull), and a
-violation raises :class:`~repro.errors.QueryTimeoutError` carrying the
-partial execution trace — after the same unconditional teardown.
+Executions can carry a *deadline* and an *abort probe*: both are checked
+at batch boundaries (before each step ``init`` and each drain pull).  A
+deadline violation raises :class:`~repro.errors.QueryTimeoutError`; an
+abort probe returning a reason raises
+:class:`~repro.errors.QueryCancelledError` — this is how a cancelled
+:class:`~repro.service.QueryHandle` stops a query that is already
+running.  Either way the partial execution trace rides on the error,
+after the same unconditional teardown.
 
 Every execution is materialized as a span tree (:mod:`repro.obs`): one
 child span per plan step, nested spans per cursor carrying cardinalities,
@@ -39,7 +43,7 @@ from dataclasses import dataclass, field
 from repro.algebra.schema import Schema
 from repro.core.feedback import TransferObservation, observations_from_trace
 from repro.core.plans import ExecutionPlan
-from repro.errors import QueryTimeoutError
+from repro.errors import QueryCancelledError, QueryTimeoutError
 from repro.obs.instrument import execution_trace, instrument_plan, unwrap
 from repro.xxl.exchange import ExchangeCursor
 from repro.obs.metrics import MetricsRegistry
@@ -85,6 +89,7 @@ class ExecutionEngine:
         batch_size: int | None = None,
         metrics: MetricsRegistry | None = None,
         deadline_seconds: float | None = None,
+        abort=None,
     ) -> ExecutionOutcome:
         """Figure 2's ExecuteQuery: init every result set, drain the last.
 
@@ -96,7 +101,12 @@ class ExecutionEngine:
         inits and every drain pull); a violation raises
         :class:`~repro.errors.QueryTimeoutError` carrying the partial span
         tree — after the usual unconditional teardown, so a timed-out query
-        leaks no temp tables either.
+        leaks no temp tables either.  *abort*, when given, is a
+        zero-argument callable probed at the same boundaries; returning a
+        non-None reason string raises
+        :class:`~repro.errors.QueryCancelledError` (same teardown, same
+        partial trace) — this is how a :class:`~repro.service.QueryHandle`
+        cancels a query that is already running.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         if instrument:
@@ -106,23 +116,33 @@ class ExecutionEngine:
             begin + deadline_seconds if deadline_seconds is not None else None
         )
 
-        def check_deadline() -> None:
+        def partial_trace(**attributes) -> Span:
+            partial = execution_trace(plan, time.perf_counter() - begin)
+            partial.set(rows=len(rows), batches=batches, **attributes)
+            tracer.attach(partial)
+            return partial
+
+        def check_interrupts() -> None:
             if deadline is not None and time.perf_counter() >= deadline:
                 if metrics is not None:
                     metrics.counter("deadline_exceeded").inc()
-                partial = execution_trace(plan, time.perf_counter() - begin)
-                partial.set(rows=len(rows), batches=batches, deadline_exceeded=True)
-                tracer.attach(partial)
                 raise QueryTimeoutError(
                     f"query exceeded its deadline of {deadline_seconds}s",
-                    partial_trace=partial,
+                    partial_trace=partial_trace(deadline_exceeded=True),
+                )
+            reason = abort() if abort is not None else None
+            if reason is not None:
+                if metrics is not None:
+                    metrics.counter("queries_cancelled").inc()
+                raise QueryCancelledError(
+                    str(reason), partial_trace=partial_trace(cancelled=True)
                 )
 
         rows: list[tuple] = []
         batches = 0
         try:
             for step in plan.steps:
-                check_deadline()
+                check_interrupts()
                 step.init()
             output = plan.output
             size = max(
@@ -133,7 +153,7 @@ class ExecutionEngine:
             )
             fill = metrics.histogram("rows_per_batch") if metrics is not None else None
             while True:
-                check_deadline()
+                check_interrupts()
                 batch = output.next_batch(size)
                 if not batch:
                     break

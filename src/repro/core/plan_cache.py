@@ -22,6 +22,7 @@ Plans are safe to share across executions: compilation
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable
 
@@ -52,6 +53,11 @@ class PlanCache:
 
     ``max_size <= 0`` disables caching entirely (every ``get`` misses,
     ``put`` is a no-op) — the ``plan_cache_size=0`` escape hatch.
+
+    Thread-safe: the query service shares one cache across its worker
+    Tangos (any tenant's optimization is every tenant's hit), and
+    concurrent ``move_to_end``/``popitem`` on an OrderedDict corrupt it
+    without the lock.
     """
 
     def __init__(self, max_size: int = 64):
@@ -60,41 +66,48 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable):
         """The cached value for *key* (refreshing its recency), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, value: object) -> None:
         if self.max_size <= 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (cost factors changed; nothing re-keys)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def to_dict(self) -> dict:
-        return {
-            "size": len(self._entries),
-            "max_size": self.max_size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -22,9 +22,19 @@ Regular (non-``VALIDTIME``) SQL is passed straight through to the DBMS —
 TANGO "captures the functionality of previously proposed stratum
 approaches" while adding shared query processing for temporal constructs.
 
-Behavioral knobs live in the frozen :class:`TangoConfig`; the old keyword
-arguments (``use_histograms``, ``prefetch``, ``adaptive``) still work but
-warn once.  Every instance carries a :class:`~repro.obs.metrics.
+The public query surface is *submit-first*: :meth:`Tango.submit` returns
+a :class:`~repro.service.QueryHandle` with ``status()``, ``result(timeout)``
+and ``cancel()``, and :meth:`Tango.query` is sugar for
+``submit(sql).result()``.  A plain ``Tango`` executes submissions inline
+on the caller's thread (the handle comes back already terminal); setting
+:attr:`TangoConfig.service` routes them through an owned
+:class:`~repro.service.QueryService` — N concurrent workers, weighted
+per-tenant fair-share scheduling, and health-driven admission control.
+
+Behavioral knobs live in the frozen :class:`TangoConfig`; the pre-frozen
+keyword arguments (``use_histograms``, ``prefetch``, ``adaptive``,
+``tracing``) were removed and now raise a :class:`TypeError` naming the
+config field.  Every instance carries a :class:`~repro.obs.metrics.
 MetricsRegistry` and a :class:`~repro.obs.tracing.Tracer`; with
 ``tracing=True`` each temporal query produces a span tree (parse →
 optimize → translate → execute, down to per-cursor cardinalities and
@@ -36,8 +46,7 @@ every cursor to time individual ``next()`` calls.
 from __future__ import annotations
 
 import time
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.algebra.operators import Operator
 from repro.algebra.schema import Schema
@@ -53,6 +62,7 @@ from repro.dbms.costmodel import CostMeter
 from repro.dbms.jdbc import Connection, ConnectionPool
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy, RetryState
+from repro.service import QueryHandle, ServiceConfig
 from repro.obs.explain import ExplainAnalyzeReport, build_report
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
@@ -116,33 +126,43 @@ class TangoConfig:
     #: middleware setting, where concurrent partition fetches genuinely
     #: overlap (used by the parallel benchmark).
     network_latency_seconds: float = 0.0
+    #: When set, :meth:`Tango.submit` routes through an owned
+    #: :class:`~repro.service.QueryService` (concurrent workers, weighted
+    #: fair-share scheduling, health-driven admission control) instead of
+    #: executing inline on the caller's thread.
+    service: ServiceConfig | None = None
 
 
-#: The old Tango(...) keyword arguments now living in TangoConfig.
-_LEGACY_KWARGS = ("use_histograms", "prefetch", "adaptive", "tracing")
+#: Constructor kwargs that moved into TangoConfig when it froze (PR 1) and
+#: whose deprecation shim has since been retired.
+_RETIRED_KWARGS = ("use_histograms", "prefetch", "adaptive", "tracing")
 
-_legacy_kwargs_warned = False
 
+def _reject_retired_kwargs(config, retired: dict) -> TangoConfig:
+    """The retired-kwargs door: a clear TypeError instead of a silent shim.
 
-def _shim_config(config, legacy: dict) -> TangoConfig:
-    """Fold deprecated constructor kwargs into a TangoConfig, warning once."""
-    global _legacy_kwargs_warned
+    Each message names the TangoConfig field the caller should set, so the
+    fix is mechanical: ``Tango(db, use_histograms=False)`` becomes
+    ``Tango(db, config=TangoConfig(use_histograms=False))``.
+    """
     if isinstance(config, bool):
         # Oldest calling convention: Tango(db, use_histograms_positionally).
-        if legacy.get("use_histograms") is None:
-            legacy["use_histograms"] = config
-        config = None
-    supplied = {key: value for key, value in legacy.items() if value is not None}
-    if supplied and not _legacy_kwargs_warned:
-        _legacy_kwargs_warned = True
-        warnings.warn(
-            f"passing {', '.join(sorted(supplied))} to Tango() directly is "
-            "deprecated; use Tango(db, config=TangoConfig(...))",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            "Tango() no longer accepts a positional use_histograms flag; "
+            "use Tango(db, config=TangoConfig(use_histograms=...))"
         )
-    base = config if config is not None else TangoConfig()
-    return replace(base, **supplied) if supplied else base
+    for name in sorted(retired):
+        if name in _RETIRED_KWARGS:
+            raise TypeError(
+                f"Tango() no longer accepts {name!r}; use "
+                f"Tango(db, config=TangoConfig({name}=...))"
+            )
+    if retired:
+        name = sorted(retired)[0]
+        raise TypeError(
+            f"Tango() got an unexpected keyword argument {name!r}"
+        )
+    return config if config is not None else TangoConfig()
 
 
 @dataclass
@@ -162,6 +182,11 @@ class QueryResult:
     element_count: int | None = None
     #: Engine-only execution wall time (excludes parse/optimize/translate).
     execution_seconds: float | None = None
+    #: True when this answer came off the fallback path (the optimizer's
+    #: plan failed beyond its retry budget and the initial all-DBMS plan
+    #: re-ran).  Correct rows, degraded service — the health monitor
+    #: counts these against the backend.
+    degraded: bool = False
     #: The query's span tree when tracing was on (the full lifecycle for
     #: Tango.query; the execution subtree for Tango.execute_plan).
     trace: Span | None = field(default=None, repr=False)
@@ -182,6 +207,7 @@ class QueryResult:
             "estimated_cost": self.estimated_cost,
             "class_count": self.class_count,
             "element_count": self.element_count,
+            "degraded": self.degraded,
             "trace": self.trace.to_dict() if self.trace is not None else None,
         }
 
@@ -197,36 +223,37 @@ class Tango:
         factors: CostFactors | None = None,
         middleware_meter: CostMeter | None = None,
         fault_injector: FaultInjector | None = None,
-        use_histograms: bool | None = None,
-        prefetch: int | None = None,
-        adaptive: bool | None = None,
-        tracing: bool | None = None,
+        metrics: MetricsRegistry | None = None,
+        pool: ConnectionPool | None = None,
+        plan_cache: PlanCache | None = None,
+        **retired,
     ):
-        self.config = _shim_config(
-            config,
-            {
-                "use_histograms": use_histograms,
-                "prefetch": prefetch,
-                "adaptive": adaptive,
-                "tracing": tracing,
-            },
-        )
+        self.config = _reject_retired_kwargs(config, retired)
         self.db = db
-        self.metrics = MetricsRegistry()
+        #: Shared when supplied (service workers aggregate into one
+        #: registry); otherwise private to this instance.
+        self.metrics = metrics or MetricsRegistry()
         self.tracer = Tracer(enabled=self.config.tracing)
         #: Chaos harness, when supplied: every DBMS touchpoint of this
         #: instance's connection first passes through the injector.
         self.fault_injector = fault_injector
         if fault_injector is not None and fault_injector.metrics is None:
             fault_injector.metrics = self.metrics
-        self.connection = Connection(
-            db,
-            prefetch=self.config.prefetch,
-            metrics=self.metrics,
-            injector=fault_injector,
-            latency_seconds=self.config.network_latency_seconds,
-        )
-        self._pool: ConnectionPool | None = None
+        #: The primary connection is leased from *pool* when one is given
+        #: (returned on close, not closed) — the service's workers all
+        #: draw on one shared pool — and privately owned otherwise.
+        self._owns_pool = pool is None
+        self._pool: ConnectionPool | None = pool
+        if pool is not None:
+            self.connection = pool.acquire()
+        else:
+            self.connection = Connection(
+                db,
+                prefetch=self.config.prefetch,
+                metrics=self.metrics,
+                injector=fault_injector,
+                latency_seconds=self.config.network_latency_seconds,
+            )
         #: Meter charged by middleware algorithms (separate from the DBMS's).
         self.middleware_meter = middleware_meter or CostMeter()
         self.collector = StatisticsCollector(self.connection)
@@ -241,9 +268,11 @@ class Tango:
         self.engine = ExecutionEngine()
         self.feedback = FeedbackAdapter()
         #: Optimized plans keyed by (query fingerprint, statistics epoch,
-        #: config); cleared whenever the cost factors move.
-        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: config); cleared whenever the cost factors move.  Shared when
+        #: supplied: the service's workers pool their optimizations.
+        self.plan_cache = plan_cache or PlanCache(self.config.plan_cache_size)
         self._optimizer: Optimizer | None = None
+        self._service = None  # lazily-built QueryService (config.service)
         self._closed = False
 
     # -- configuration ----------------------------------------------------------------
@@ -339,16 +368,26 @@ class Tango:
     def close(self) -> None:
         """Release the DBMS connection and flush metrics; idempotent.
 
-        The final metrics snapshot remains available as
-        :attr:`final_metrics` (and ``self.metrics`` stays readable).
+        The owned :class:`~repro.service.QueryService` (if any) drains
+        first, so queued queries finish before the connections go away.
+        A pool-leased primary connection is returned to its pool, not
+        closed; a borrowed pool is left open for its owner.  The final
+        metrics snapshot remains available as :attr:`final_metrics` (and
+        ``self.metrics`` stays readable).
         """
         if self._closed:
             return
-        self.final_metrics = self.metrics.flush()
-        if self._pool is not None:
-            self._pool.close()
-        self.connection.close()
         self._closed = True
+        if self._service is not None:
+            self._service.close()
+        self.final_metrics = self.metrics.flush()
+        if self._owns_pool:
+            if self._pool is not None:
+                self._pool.close()
+            self.connection.close()
+        else:
+            assert self._pool is not None
+            self._pool.release(self.connection)
 
     def __enter__(self) -> "Tango":
         return self
@@ -399,6 +438,7 @@ class Tango:
         plan: Operator,
         retry: RetryState | None = None,
         parallel: bool = True,
+        abort=None,
     ) -> QueryResult:
         """Execute a complete (validated) plan tree.
 
@@ -406,9 +446,10 @@ class Tango:
         directly can omit it (a fresh budget is created).  *parallel* may
         be set to False to force serial compilation even when
         ``config.workers > 1`` (the fallback path does, for maximum
-        failure resistance).  Transient DBMS
-        failures inside the transfer operators are retried under
-        ``config.retry``; ``config.deadline_seconds`` bounds the
+        failure resistance).  *abort* is the engine's cooperative
+        cancellation probe (see :meth:`ExecutionEngine.execute`).
+        Transient DBMS failures inside the transfer operators are retried
+        under ``config.retry``; ``config.deadline_seconds`` bounds the
         execution's wall time.
         """
         self._check_open()
@@ -430,6 +471,7 @@ class Tango:
             tracer=self.tracer,
             metrics=self.metrics,
             deadline_seconds=self.config.deadline_seconds,
+            abort=abort,
         )
         self._record_execution(outcome)
         return QueryResult(
@@ -441,32 +483,95 @@ class Tango:
             trace=outcome.trace if self.tracer.enabled else None,
         )
 
-    def query(self, sql: str) -> QueryResult:
-        """The full TANGO path: parse, optimize, execute.
+    def submit(
+        self,
+        query: str | Operator,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> QueryHandle:
+        """Submit a query; returns its :class:`~repro.service.QueryHandle`.
 
-        Non-temporal statements go straight to the DBMS (stratum
-        passthrough).  When the optimizer's partitioned plan fails beyond
-        its retry budget (``config.fallback``), the engine has already torn
-        it down (temp tables dropped) and the query is re-executed on the
-        Section 3.1 initial plan — all processing in the DBMS, one
-        ``TRANSFER^M`` on top — so a flaky connection costs latency, never
-        a wrong answer or an application-visible error.
+        With :attr:`TangoConfig.service` set, the query is admitted into
+        this instance's owned :class:`~repro.service.QueryService` —
+        subject to the tenant's fair share and to admission control — and
+        the handle comes back live (``queued``/``running``).  Without it,
+        the query executes inline on the calling thread and the handle
+        comes back already terminal; ``tenant`` and ``priority`` are then
+        only labels.  Either way, ``handle.result(timeout)`` is the
+        outcome and ``handle.cancel()`` the escape hatch.
+        """
+        self._check_open()
+        if self.config.service is not None:
+            return self._query_service().submit(
+                query, tenant=tenant, priority=priority
+            )
+        handle = QueryHandle(query, tenant=tenant, priority=priority)
+        handle.mark_running()
+        try:
+            handle.complete(self.run(query, abort=handle.abort_reason))
+        except BaseException as error:  # noqa: BLE001 - the handle carries it
+            handle.fail(error)
+        return handle
+
+    def query(self, sql: str) -> QueryResult:
+        """Sugar for ``submit(sql).result()`` — parse, optimize, execute.
+
+        Blocks for the outcome and re-raises the query's own error, which
+        makes it exactly the pre-service synchronous API.
+        """
+        return self.submit(sql).result()
+
+    def _query_service(self):
+        """The owned QueryService, built on first submit (config.service)."""
+        if self._service is None:
+            from repro.service import QueryService
+
+            self._service = QueryService(
+                self.db,
+                self.config.service,
+                tango_config=self.config,
+                fault_injector=self.fault_injector,
+                metrics=self.metrics,
+            )
+        return self._service
+
+    @property
+    def service(self):
+        """The owned :class:`~repro.service.QueryService`, or None."""
+        return self._service
+
+    def run(self, query: str | Operator, abort=None) -> QueryResult:
+        """The full TANGO path, synchronously: parse, optimize, execute.
+
+        Accepts temporal SQL or an already-parsed initial plan (the
+        service's workers hand either through).  Non-temporal statements
+        go straight to the DBMS (stratum passthrough).  When the
+        optimizer's partitioned plan fails beyond its retry budget
+        (``config.fallback``), the engine has already torn it down (temp
+        tables dropped) and the query is re-executed on the Section 3.1
+        initial plan — all processing in the DBMS, one ``TRANSFER^M`` on
+        top — so a flaky connection costs latency, never a wrong answer
+        or an application-visible error; the result is flagged
+        ``degraded`` so the health monitor hears about it.  *abort* is
+        the cooperative-cancellation probe, checked at batch boundaries.
         """
         self._check_open()
         self.metrics.counter("queries_total").inc()
-        if not is_temporal_query(sql):
+        if isinstance(query, str) and not is_temporal_query(query):
             self.metrics.counter("queries_passthrough").inc()
-            return self._passthrough(sql)
+            return self._passthrough(query)
         self.metrics.counter("queries_temporal").inc()
         begin = time.perf_counter()
+        sql = query if isinstance(query, str) else None
         with self.tracer.span("query", kind="query", sql=sql) as query_span:
-            optimization = self.optimize(sql)
+            optimization = self.optimize(query)
             try:
-                result = self.execute_plan(optimization.plan)
+                result = self.execute_plan(optimization.plan, abort=abort)
             except RetryExhaustedError as error:
                 if not self.config.fallback:
                     raise
-                result = self._fallback(sql, error)
+                result = self._fallback(query, error, abort=abort)
         # Middleware optimization time is part of the query time (Section
         # 5.1); execution_seconds keeps the engine-only share.
         result.elapsed_seconds = time.perf_counter() - begin
@@ -479,22 +584,28 @@ class Tango:
         self.metrics.histogram("query_seconds").observe(result.elapsed_seconds)
         return result
 
-    def _fallback(self, sql: str, error: RetryExhaustedError) -> QueryResult:
-        """Re-execute *sql* on its initial plan (Figure 4(a): everything in
-        the DBMS), after the partitioned plan failed beyond its budget.
+    def _fallback(
+        self, query: str | Operator, error: RetryExhaustedError, abort=None
+    ) -> QueryResult:
+        """Re-execute *query* on its initial plan (Figure 4(a): everything
+        in the DBMS), after the partitioned plan failed beyond its budget.
 
         The all-DBMS shape is the most failure-resistant plan available:
         it needs no ``TRANSFER^D`` round trips and ships the result in a
         single ``TRANSFER^M``, with a fresh retry budget of its own.  The
         fallback always compiles serially — a parallel fan-out would
-        multiply the very connections that just proved flaky.
+        multiply the very connections that just proved flaky.  For a plan
+        submitted directly (no SQL to re-parse), the submitted initial
+        plan itself is the fallback shape.
         """
         self.metrics.counter("fallbacks").inc()
         with self.tracer.span(
             "fallback", kind="fallback", error=str(error), retries=error.retries
         ):
-            initial = self.parse(sql)
-            return self.execute_plan(initial, parallel=False)
+            initial = self.parse(query) if isinstance(query, str) else query
+            result = self.execute_plan(initial, parallel=False, abort=abort)
+        result.degraded = True
+        return result
 
     def explain(self, sql: str) -> str:
         """The chosen plan and its cost breakdown, without executing."""

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 from repro.algebra.schema import Schema
 from repro.dbms.database import MiniDB
 from repro.dbms.loader import DirectPathLoader
 from repro.dbms.sql.executor import ResultSet
-from repro.errors import DatabaseError
+from repro.errors import DatabaseError, PoolTimeoutError
 from repro.obs.metrics import MetricsRegistry
 from repro.resilience.faults import FaultInjector
 
@@ -333,11 +334,27 @@ class ConnectionPool:
     """A small fixed-size pool of connections to one MiniDB instance.
 
     ``TRANSFER^M`` fan-out pulls its partitions over concurrent
-    connections drawn from here.  Connections are created lazily up to
-    *size*; :meth:`release` parks a connection for reuse (or closes it if
-    the pool was closed meanwhile).  All connections share the pool's
-    metrics registry and fault injector, so chaos and accounting see
-    partition traffic exactly like serial traffic.
+    connections drawn from here, and the query service's workers lease
+    their primary connections here.  Connections are created lazily up
+    to *size*; :meth:`release` parks a connection for reuse (or closes
+    it if the pool was closed meanwhile).  All connections share the
+    pool's metrics registry and fault injector, so chaos and accounting
+    see partition traffic exactly like serial traffic.
+
+    Two exhaustion disciplines:
+
+    * default (``strict=False``): a burst beyond *size* gets *overflow*
+      connections, which :meth:`release` closes instead of parking —
+      never blocks, steady state stays at *size*;
+    * ``strict=True``: at most *size* connections ever exist;
+      :meth:`acquire` blocks until one is released, and raises
+      :class:`~repro.errors.PoolTimeoutError` when *timeout* expires
+      first — real admission back-pressure.
+
+    Checked-out connections are tracked (:attr:`in_use`), so a caller
+    that dies mid-checkout is visible as a leak instead of silently
+    shrinking the pool; :meth:`lease` is the context-manager form that
+    cannot leak.
     """
 
     def __init__(
@@ -348,6 +365,7 @@ class ConnectionPool:
         metrics: MetricsRegistry | None = None,
         injector: FaultInjector | None = None,
         latency_seconds: float = 0.0,
+        strict: bool = False,
     ):
         self.db = db
         self.size = max(1, size)
@@ -355,23 +373,17 @@ class ConnectionPool:
         self.metrics = metrics
         self.injector = injector
         self.latency_seconds = latency_seconds
+        self.strict = strict
         self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
         self._idle: list[Connection] = []
+        #: Connections currently checked out (identity set).
+        self._checked_out: dict[int, Connection] = {}
+        #: Live connections a strict pool has created and not yet retired.
+        self._created = 0
         self._closed = False
 
-    def acquire(self) -> Connection:
-        """An idle connection, or a fresh one.
-
-        Never blocks and never fails on load: a burst beyond *size*
-        (e.g. two parallel queries on one Tango) gets overflow
-        connections, which :meth:`release` then closes instead of
-        parking — the pool's steady state stays at *size*.
-        """
-        with self._lock:
-            if self._closed:
-                raise DatabaseError("connection pool is closed")
-            if self._idle:
-                return self._idle.pop()
+    def _new_connection(self) -> Connection:
         return Connection(
             self.db,
             prefetch=self.prefetch,
@@ -380,20 +392,81 @@ class ConnectionPool:
             latency_seconds=self.latency_seconds,
         )
 
+    def acquire(self, timeout: float | None = None) -> Connection:
+        """An idle connection, a fresh one, or (strict) a blocking wait.
+
+        *timeout* only applies to a strict pool's wait; the default pool
+        never blocks.
+        """
+        with self._available:
+            if self._closed:
+                raise DatabaseError("connection pool is closed")
+            if self._idle:
+                connection = self._idle.pop()
+                self._checked_out[id(connection)] = connection
+                return connection
+            if self.strict:
+                while self._created >= self.size and not self._idle:
+                    if not self._available.wait(timeout):
+                        raise PoolTimeoutError(
+                            f"no connection available within {timeout}s "
+                            f"(size={self.size}, in_use={len(self._checked_out)})"
+                        )
+                    if self._closed:
+                        raise DatabaseError("connection pool is closed")
+                if self._idle:
+                    connection = self._idle.pop()
+                    self._checked_out[id(connection)] = connection
+                    return connection
+                self._created += 1
+            connection = self._new_connection()
+            self._checked_out[id(connection)] = connection
+            return connection
+
     def release(self, connection: Connection) -> None:
-        with self._lock:
+        retire = False
+        with self._available:
+            self._checked_out.pop(id(connection), None)
             if (
                 not self._closed
                 and not connection.closed
                 and len(self._idle) < self.size
             ):
                 self._idle.append(connection)
+                self._available.notify()
                 return
-        connection.close()
+            if self.strict and self._created > 0:
+                # The slot is free again; a waiter may create a fresh one.
+                self._created -= 1
+                self._available.notify()
+            retire = True
+        if retire:
+            connection.close()
+
+    @contextmanager
+    def lease(self, timeout: float | None = None):
+        """``with pool.lease() as connection:`` — release guaranteed."""
+        connection = self.acquire(timeout)
+        try:
+            yield connection
+        finally:
+            self.release(connection)
+
+    @property
+    def in_use(self) -> int:
+        """Connections currently checked out and not yet released."""
+        with self._lock:
+            return len(self._checked_out)
+
+    @property
+    def idle(self) -> int:
+        with self._lock:
+            return len(self._idle)
 
     def close(self) -> None:
-        with self._lock:
+        with self._available:
             self._closed = True
             idle, self._idle = self._idle, []
+            self._available.notify_all()
         for connection in idle:
             connection.close()

@@ -56,6 +56,63 @@ class ConnectionDroppedError(DatabaseError):
     """The DBMS connection is gone; no retry on this connection can help."""
 
 
+class PoolTimeoutError(DatabaseError):
+    """A strict connection pool stayed exhausted past the acquire timeout.
+
+    Raised only by pools built with ``strict=True`` (bounded checkout);
+    the default pool serves overflow connections instead of blocking.
+    """
+
+
+class AdmissionError(ReproError):
+    """The query service refused a submission at the door.
+
+    Base class for admission-control rejections; the submission never
+    entered the queue, so nothing needs cancelling.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """The bounded admission queue (global or per-tenant) is full.
+
+    Back-pressure, not failure: the caller should retry after draining
+    some in-flight work.
+    """
+
+
+class BackendSickError(AdmissionError):
+    """Admission control is shedding load because the backend looks sick.
+
+    The resilience layer's retry/deadline classification (see
+    :class:`repro.resilience.health.HealthMonitor`) observed enough
+    retry exhaustions, connection drops, deadline violations, or
+    fallbacks in its window to declare the DBMS unhealthy; new load is
+    shed instead of queued behind a backend that cannot drain it.
+    """
+
+
+class QueryCancelledError(ReproError):
+    """The query was cancelled before it produced a result.
+
+    Queued queries are removed outright; running queries are aborted
+    cooperatively at the next batch boundary (:attr:`partial_trace`
+    carries the work completed before the abort, when the engine had
+    anything to report).
+    """
+
+    def __init__(self, message: str, partial_trace=None):
+        super().__init__(message)
+        self.partial_trace = partial_trace
+
+
+class ResultTimeoutError(ReproError):
+    """``QueryHandle.result(timeout)`` expired before the query finished.
+
+    The query itself is unaffected — still queued or running — and a
+    later ``result()`` call can pick it up.
+    """
+
+
 class QueryTimeoutError(ReproError):
     """A query ran past its :attr:`TangoConfig.deadline_seconds`.
 

@@ -242,8 +242,8 @@ def emit_pytest(
         )
     body.extend(
         [
-            "    expected = execute_with_config(db, BASELINE_PLAN, DEFAULT_CONFIG)",
-            "    actual = execute_with_config(db, FAILING_PLAN, CONFIG)",
+            "    expected = execute_with_config(db, BASELINE_PLAN, DEFAULT_CONFIG).rows",
+            "    actual = execute_with_config(db, FAILING_PLAN, CONFIG).rows",
             "    assert canonical_rows(actual) == canonical_rows(expected), (",
             "        describe_mismatch(expected, actual)",
             "    )",

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.algebra.operators import Operator
 from repro.algebra.properties import guaranteed_order
-from repro.core.tango import Tango, TangoConfig
+from repro.core.tango import QueryResult, Tango, TangoConfig
 from repro.dbms.database import MiniDB
 from repro.dbms.jdbc import Connection
 from repro.errors import OptimizerError, ReproError
@@ -122,17 +122,19 @@ class FailureReport:
 
 def execute_with_config(
     db: MiniDB, plan: Operator, config: ExecConfig = DEFAULT_CONFIG
-) -> list[tuple]:
-    """Execute *plan* against *db* under *config* and return its rows.
+) -> "QueryResult":
+    """Execute *plan* against *db* under *config*.
 
-    The standalone entry point emitted reproducers call: one Tango
-    instance, one execution, deterministic per config.
+    Returns the full :class:`~repro.core.tango.QueryResult` — rows, trace,
+    timings — the one result type every consumer shares.  The standalone
+    entry point emitted reproducers call: one Tango instance, one
+    execution, deterministic per config.
     """
     tango = Tango(
         db, config=config.tango_config(), fault_injector=config.fault_injector()
     )
     try:
-        return tango.execute_plan(plan).rows
+        return tango.execute_plan(plan)
     finally:
         tango.close()
 
@@ -221,7 +223,7 @@ class Oracle:
                 case, ("baseline",), baseline_plan, DEFAULT_CONFIG,
                 outcome.kind, outcome.message,
             )
-        baseline = canonical_rows(outcome.rows)
+        baseline = canonical_rows(outcome.result.rows)
         invariant = self._check_invariants(outcome, baseline_plan)
         if invariant is not None:
             return FailureReport(
@@ -255,7 +257,7 @@ class Oracle:
         outcome = self._execute(db, baseline_plan, DEFAULT_CONFIG)
         if isinstance(outcome, _ExecutionFailure):
             return outcome.kind, outcome.message, baseline_plan, baseline_plan
-        baseline = canonical_rows(outcome.rows)
+        baseline = canonical_rows(outcome.result.rows)
         invariant = self._check_invariants(outcome, baseline_plan)
         if invariant is not None:
             return invariant[0], invariant[1], baseline_plan, baseline_plan
@@ -319,11 +321,11 @@ class Oracle:
             return FailureReport(
                 case, strategy, plan, config, outcome.kind, outcome.message
             )
-        if canonical_rows(outcome.rows) != baseline:
+        if canonical_rows(outcome.result.rows) != baseline:
             return FailureReport(
                 case, strategy, plan, config, "multiset-mismatch",
                 describe_mismatch(
-                    [tuple(row) for row in baseline], outcome.rows
+                    [tuple(row) for row in baseline], outcome.result.rows
                 ),
             )
         invariant = self._check_invariants(outcome, plan)
@@ -357,8 +359,7 @@ class Oracle:
             if name.upper().startswith("TANGO_TMP")
         ]
         return _ExecutionOutcome(
-            rows=result.rows,
-            trace=result.trace,
+            result=result,
             metrics=metrics,
             leaked=leaked,
             config=config,
@@ -381,11 +382,11 @@ class Oracle:
                 "chaos-metrics",
                 f"chaos off, yet retries={retries} faults={faults}",
             )
-        span_problem = self._span_problem(outcome.trace)
+        span_problem = self._span_problem(outcome.result.trace)
         if span_problem is not None:
             return "span", span_problem
         order = tuple(guaranteed_order(plan))
-        if order and not is_sorted_on(outcome.rows, plan.schema, order):
+        if order and not is_sorted_on(outcome.result.rows, plan.schema, order):
             return (
                 "order-violation",
                 f"plan declares order {order} but delivered rows violate it",
@@ -410,8 +411,8 @@ class Oracle:
 
 @dataclass
 class _ExecutionOutcome:
-    rows: list
-    trace: object
+    #: The execution's QueryResult — the single result type everywhere.
+    result: QueryResult
     metrics: dict
     leaked: list
     config: ExecConfig

@@ -18,10 +18,24 @@ operators ride:
 * graceful degradation: when a middleware-partitioned plan fails beyond
   its retry budget, :meth:`Tango.query` tears the plan down and re-executes
   the Section 3.1 initial plan (all processing in the DBMS), so a flaky
-  connection costs latency, never a wrong answer.
+  connection costs latency, never a wrong answer;
+* backend health classification
+  (:class:`~repro.resilience.health.HealthMonitor`): per-query outcomes —
+  clean, fallback-rescued, retry-exhausted, dropped, deadline-violated —
+  folded into a sliding window and classified ``HEALTHY``/``DEGRADED``/
+  ``SICK``, the signal the query service's admission control sheds on.
 """
 
 from repro.resilience.faults import FaultInjector, FaultPolicy
+from repro.resilience.health import BackendState, HealthMonitor, HealthPolicy
 from repro.resilience.retry import RetryPolicy, RetryState
 
-__all__ = ["FaultInjector", "FaultPolicy", "RetryPolicy", "RetryState"]
+__all__ = [
+    "BackendState",
+    "FaultInjector",
+    "FaultPolicy",
+    "HealthMonitor",
+    "HealthPolicy",
+    "RetryPolicy",
+    "RetryState",
+]

@@ -1,0 +1,282 @@
+"""The long-lived, concurrent, multi-tenant query service.
+
+One :class:`QueryService` is TANGO running as a *server*: N worker
+threads, each owning a full middleware stack (optimizer, engine, a
+primary DBMS connection leased from a shared
+:class:`~repro.dbms.jdbc.ConnectionPool`), all sharing one
+:class:`~repro.obs.metrics.MetricsRegistry`, one thread-safe
+:class:`~repro.core.plan_cache.PlanCache` (tenant A's optimization warms
+tenant B's cache hit), and one
+:class:`~repro.resilience.health.HealthMonitor`.
+
+The admission pipeline per submit::
+
+    submit() ── health gate ──► fair-share queue ──► worker ──► QueryHandle
+        │  SICK: BackendSickError     │ full: QueueFullError
+        └──────── shed ◄──────────────┘   (service_shed_total)
+
+Workers record every outcome into the health monitor — that is the
+cross-layer loop: retry exhaustion and deadline classification computed
+by the resilience layer during execution become the admission-control
+signal for the *next* submission.  While DEGRADED, dispatch concurrency
+shrinks (``degraded_concurrency_factor``); while SICK, new load is shed
+and the backlog drains one query at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.dbms.database import MiniDB
+from repro.dbms.jdbc import ConnectionPool
+from repro.errors import BackendSickError, DatabaseError, QueueFullError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultInjector
+from repro.resilience.health import BackendState, HealthMonitor
+from repro.service.config import ServiceConfig
+from repro.service.handle import HandleState, QueryHandle
+from repro.service.scheduler import FairShareScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids the cycle
+    from repro.core.tango import QueryResult, TangoConfig
+
+
+class QueryService:
+    """Admits, schedules, and executes queries for many tenants at once."""
+
+    def __init__(
+        self,
+        db: MiniDB,
+        config: ServiceConfig | None = None,
+        *,
+        tango_config: "TangoConfig | None" = None,
+        fault_injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        pool: ConnectionPool | None = None,
+    ):
+        # Imported here, not at module level: repro.core.tango imports
+        # this package for the handle surface.
+        from repro.core.plan_cache import PlanCache
+        from repro.core.tango import TangoConfig
+
+        self.db = db
+        self.config = config or ServiceConfig()
+        base = tango_config or TangoConfig()
+        if base.service is not None:
+            # Worker Tangos must execute inline, not recurse into a
+            # service of their own.
+            from dataclasses import replace
+
+            base = replace(base, service=None)
+        self.tango_config = base
+        self.metrics = metrics or MetricsRegistry()
+        self.fault_injector = fault_injector
+        if fault_injector is not None and fault_injector.metrics is None:
+            fault_injector.metrics = self.metrics
+        self._owns_pool = pool is None
+        self.pool = pool or ConnectionPool(
+            db,
+            size=self.config.max_concurrency,
+            prefetch=base.prefetch,
+            metrics=self.metrics,
+            injector=fault_injector,
+            latency_seconds=base.network_latency_seconds,
+        )
+        self.health = HealthMonitor(self.config.health)
+        self.scheduler = FairShareScheduler(self.config)
+        #: Shared across workers: one tenant's optimization is every
+        #: tenant's cache hit (PlanCache is thread-safe).
+        self.plan_cache = PlanCache(base.plan_cache_size)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"tango-service-{index}",
+                daemon=True,
+            )
+            for index in range(max(1, self.config.max_concurrency))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- the client surface ---------------------------------------------------------
+
+    def submit(
+        self, query, *, tenant: str = "default", priority: int = 0
+    ) -> QueryHandle:
+        """Admit one query (SQL text or an initial plan) for *tenant*.
+
+        Returns a :class:`QueryHandle` immediately.  Raises
+        :class:`~repro.errors.BackendSickError` when admission control is
+        shedding (backend classified SICK) and
+        :class:`~repro.errors.QueueFullError` when the bounded admission
+        queue — global or per-tenant — is full.  Both are *sheds*: the
+        query never entered the system, and ``service_shed_total``
+        counts it.
+        """
+        if self._closed:
+            raise DatabaseError("this QueryService is closed")
+        self.metrics.counter("service_submitted_total").inc()
+        if (
+            self.config.shed_when_sick
+            and self.health.classify() is BackendState.SICK
+        ):
+            self._count_shed(tenant, "service_shed_sick_total")
+            raise BackendSickError(
+                "admission control is shedding load: the backend's recent "
+                "retry/deadline record classifies it as sick "
+                f"({self.health.snapshot()})"
+            )
+        handle = QueryHandle(query, tenant=tenant, priority=priority)
+        try:
+            self.scheduler.enqueue(handle)
+        except QueueFullError:
+            self._count_shed(tenant, "service_shed_queue_full_total")
+            raise
+        self.metrics.counter("service_admitted_total").inc()
+        self.metrics.counter(f"service_admitted_total.{tenant}").inc()
+        self.metrics.histogram("service_queue_depth").observe(
+            self.scheduler.queued_total
+        )
+        return handle
+
+    def query(
+        self,
+        query,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> "QueryResult":
+        """Sugar: ``submit(...).result(timeout)``."""
+        return self.submit(query, tenant=tenant, priority=priority).result(timeout)
+
+    def _count_shed(self, tenant: str, reason_counter: str) -> None:
+        self.metrics.counter("service_shed_total").inc()
+        self.metrics.counter(reason_counter).inc()
+        self.metrics.counter(f"service_shed_total.{tenant}").inc()
+
+    # -- workers --------------------------------------------------------------------
+
+    def _capacity(self) -> int:
+        """Current dispatch bound, shrunk while the backend struggles."""
+        state = self.health.classify()
+        if state is BackendState.SICK:
+            return 1
+        if state is BackendState.DEGRADED:
+            return max(
+                1,
+                int(
+                    self.config.max_concurrency
+                    * self.config.degraded_concurrency_factor
+                ),
+            )
+        return self.config.max_concurrency
+
+    def _make_worker_tango(self):
+        from repro.core.tango import Tango
+
+        return Tango(
+            self.db,
+            config=self.tango_config,
+            fault_injector=self.fault_injector,
+            metrics=self.metrics,
+            pool=self.pool,
+            plan_cache=self.plan_cache,
+        )
+
+    def _worker_loop(self) -> None:
+        tango = None
+        try:
+            while True:
+                item = self.scheduler.next_task(capacity=self._capacity)
+                if item is None:
+                    return
+                handle, tenant = item
+                try:
+                    if not handle.mark_running():
+                        continue  # cancelled between dispatch and start
+                    if tango is None:
+                        tango = self._make_worker_tango()
+                    self._run_one(tango, handle, tenant)
+                finally:
+                    self.scheduler.task_done(tenant)
+        finally:
+            if tango is not None:
+                tango.close()
+
+    def _run_one(self, tango, handle: QueryHandle, tenant: str) -> None:
+        queue_wait = handle.queue_seconds or 0.0
+        self.metrics.histogram("service_queue_seconds").observe(queue_wait)
+        self.metrics.histogram(f"service_queue_seconds.{tenant}").observe(
+            queue_wait
+        )
+        try:
+            result = tango.run(handle.query, abort=handle.abort_reason)
+        except BaseException as error:  # noqa: BLE001 - a worker must survive
+            handle.fail(error)
+            self.health.record_outcome(error)
+            if handle.status() is HandleState.CANCELLED:
+                self.metrics.counter("service_cancelled_total").inc()
+            else:
+                self.metrics.counter("service_failed_total").inc()
+                self.metrics.counter(f"service_failed_total.{tenant}").inc()
+            return
+        handle.complete(result)
+        self.health.record_outcome(None, degraded=result.degraded)
+        self.metrics.counter("service_completed_total").inc()
+        self.metrics.counter(f"service_completed_total.{tenant}").inc()
+        latency = handle.total_seconds or 0.0
+        self.metrics.histogram("service_latency_seconds").observe(latency)
+        self.metrics.histogram(f"service_latency_seconds.{tenant}").observe(
+            latency
+        )
+
+    # -- lifecycle / observability ----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop admitting and shut the workers down; idempotent.
+
+        ``drain=True`` (default) lets queued queries finish; ``False``
+        cancels everything still queued.  Running queries always finish
+        (they hold pool connections mid-flight).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.scheduler.close(cancel_queued=not drain)
+        for worker in self._workers:
+            worker.join(timeout)
+        if self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dashboard frame: tenants, health, key metrics."""
+        counters = self.metrics.to_dict()["counters"]
+        return {
+            "closed": self._closed,
+            "max_concurrency": self.config.max_concurrency,
+            "effective_concurrency": self._capacity(),
+            "queued": self.scheduler.queued_total,
+            "running": self.scheduler.running_total,
+            "tenants": self.scheduler.snapshot(),
+            "health": self.health.snapshot(),
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("service_")
+            },
+        }

@@ -14,7 +14,7 @@ from repro.algebra.operators import (
     TemporalAggregate,
     TemporalJoin,
 )
-from repro.core.tango import Tango
+from repro.core.tango import Tango, TangoConfig
 from repro.optimizer.physical import validate_plan
 from repro.workloads import queries
 
@@ -59,8 +59,8 @@ class TestQuery2Choice:
     def test_histogram_ablation_changes_estimates(self, uis_db):
         """Section 5.2: without histograms the optimizer mis-estimates the
         temporal selection for mid-range windows."""
-        with_hist = Tango(uis_db, use_histograms=True)
-        without = Tango(uis_db, use_histograms=False)
+        with_hist = Tango(uis_db, config=TangoConfig(use_histograms=True))
+        without = Tango(uis_db, config=TangoConfig(use_histograms=False))
         plan = queries.query2_initial_plan(uis_db, "1992-01-01")
         scan_like = plan  # estimate the initial plan's output
         est_with = with_hist.estimator.estimate(scan_like).cardinality

@@ -5,7 +5,7 @@ partitioning of subsequent queries")."""
 import pytest
 
 from repro.core.feedback import FeedbackAdapter, TransferObservation
-from repro.core.tango import Tango
+from repro.core.tango import Tango, TangoConfig
 from repro.dbms.database import MiniDB
 from repro.optimizer.costs import CostFactors
 
@@ -122,13 +122,13 @@ class TestTangoIntegration:
         )
 
     def test_adaptive_updates_factors(self, db):
-        tango = Tango(db, adaptive=True, factors=CostFactors(p_tmr=1e6))
+        tango = Tango(db, config=TangoConfig(adaptive=True), factors=CostFactors(p_tmr=1e6))
         before = tango.factors.p_tmr
         tango.query(self.temporal_query())
         assert tango.factors.p_tmr < before  # moved toward reality
 
     def test_non_adaptive_keeps_factors(self, db):
-        tango = Tango(db, adaptive=False)
+        tango = Tango(db, config=TangoConfig(adaptive=False))
         before = tango.factors
         tango.query(self.temporal_query())
         assert tango.factors is before
@@ -146,7 +146,7 @@ class TestTangoIntegration:
         assert ups[0].tuples > 0
 
     def test_adaptation_is_used_by_next_optimization(self, db):
-        tango = Tango(db, adaptive=True, factors=CostFactors(p_tmr=1e6))
+        tango = Tango(db, config=TangoConfig(adaptive=True), factors=CostFactors(p_tmr=1e6))
         first_optimizer = tango.optimizer
         tango.query(self.temporal_query())
         assert tango.optimizer is not first_optimizer  # rebuilt on update

@@ -262,7 +262,9 @@ def test_rule_preserves_schema_order_and_rows(rule):
     results = []
     for plan in executable:
         try:
-            results.append(canonical_rows(execute_with_config(_database(), plan)))
+            results.append(
+                canonical_rows(execute_with_config(_database(), plan).rows)
+            )
         except ReproError:
             continue  # no algorithm for this shape (e.g. COAL^D)
     assert results, f"{rule.name}: no alternative was executable"

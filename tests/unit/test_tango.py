@@ -1,10 +1,7 @@
 """Unit tests for the Tango facade."""
 
-import warnings
-
 import pytest
 
-import repro.core.tango as tango_module
 from repro.core.tango import QueryResult, Tango, TangoConfig
 from repro.dbms.database import MiniDB
 from repro.errors import DatabaseError, PlanError
@@ -106,8 +103,8 @@ class TestStatisticsLifecycle:
         assert stats.cardinality == 4
 
     def test_histogram_toggle(self, figure3_db):
-        with_hist = Tango(figure3_db, use_histograms=True)
-        without = Tango(figure3_db, use_histograms=False)
+        with_hist = Tango(figure3_db, config=TangoConfig(use_histograms=True))
+        without = Tango(figure3_db, config=TangoConfig(use_histograms=False))
         assert with_hist.predicate_estimator.use_histograms
         assert not without.predicate_estimator.use_histograms
 
@@ -131,43 +128,34 @@ class TestTangoConfig:
         with pytest.raises(Exception):
             TangoConfig().adaptive = True
 
-    def test_config_and_legacy_kwargs_equivalent(self, figure3_db):
-        via_config = Tango(
+    def test_config_kwargs_carry_through(self, figure3_db):
+        tango = Tango(
             figure3_db,
             config=TangoConfig(use_histograms=False, prefetch=7, adaptive=True),
         )
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            via_kwargs = Tango(
-                figure3_db, use_histograms=False, prefetch=7, adaptive=True
-            )
-        assert via_config.config == via_kwargs.config
-        assert via_kwargs.connection.prefetch == 7
-        assert via_kwargs.adaptive is True
-        assert not via_kwargs.predicate_estimator.use_histograms
+        assert tango.connection.prefetch == 7
+        assert tango.adaptive is True
+        assert not tango.predicate_estimator.use_histograms
 
-    def test_legacy_kwargs_warn_once(self, figure3_db, monkeypatch):
-        monkeypatch.setattr(tango_module, "_legacy_kwargs_warned", False)
-        with pytest.warns(DeprecationWarning, match="TangoConfig"):
-            Tango(figure3_db, adaptive=True)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            Tango(figure3_db, adaptive=True)  # second use is silent
+    @pytest.mark.parametrize(
+        "kwarg", ["use_histograms", "prefetch", "adaptive", "tracing"]
+    )
+    def test_retired_kwargs_error_names_the_config_field(
+        self, figure3_db, kwarg
+    ):
+        """The PR-1 deprecation shim is retired: the error must point the
+        caller at the exact TangoConfig field to set instead."""
+        with pytest.raises(TypeError, match=rf"TangoConfig\({kwarg}=") as exc:
+            Tango(figure3_db, **{kwarg: True})
+        assert kwarg in str(exc.value)
 
-    def test_legacy_positional_bool_is_use_histograms(self, figure3_db):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            tango = Tango(figure3_db, False)
-        assert tango.config.use_histograms is False
+    def test_retired_positional_bool_errors(self, figure3_db):
+        with pytest.raises(TypeError, match=r"TangoConfig\(use_histograms="):
+            Tango(figure3_db, False)
 
-    def test_legacy_kwargs_override_config(self, figure3_db):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            tango = Tango(
-                figure3_db, config=TangoConfig(prefetch=9), adaptive=True
-            )
-        assert tango.config.prefetch == 9
-        assert tango.config.adaptive is True
+    def test_unknown_kwargs_error_too(self, figure3_db):
+        with pytest.raises(TypeError):
+            Tango(figure3_db, no_such_option=1)
 
 
 class TestLifecycle:
