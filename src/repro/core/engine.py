@@ -44,7 +44,12 @@ from repro.algebra.schema import Schema
 from repro.core.feedback import TransferObservation, observations_from_trace
 from repro.core.plans import ExecutionPlan
 from repro.errors import QueryCancelledError, QueryTimeoutError
-from repro.obs.instrument import execution_trace, instrument_plan, unwrap
+from repro.obs.instrument import (
+    CHILD_ATTRIBUTES,
+    execution_trace,
+    instrument_plan,
+    unwrap,
+)
 from repro.xxl.exchange import ExchangeCursor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
@@ -73,6 +78,25 @@ class ExecutionOutcome:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+def _iter_cursors(roots):
+    """Every distinct algorithm cursor reachable from *roots* — child links
+    and exchange partition pipelines included — unwrapped."""
+    seen: set[int] = set()
+    stack = list(roots)
+    while stack:
+        cursor = unwrap(stack.pop())
+        if id(cursor) in seen:
+            continue
+        seen.add(id(cursor))
+        yield cursor
+        if isinstance(cursor, ExchangeCursor):
+            stack.extend(cursor.pipeline_roots)
+        for attribute in CHILD_ATTRIBUTES:
+            child = getattr(cursor, attribute, None)
+            if child is not None and hasattr(child, "has_next"):
+                stack.append(child)
 
 
 class ExecutionEngine:
@@ -169,8 +193,11 @@ class ExecutionEngine:
             metrics.counter("batches_produced").inc(batches)
             # Exchange bookkeeping (parallel_efficiency is computed at
             # cursor close, i.e. during the teardown just above).
-            for step in plan.steps:
-                raw = unwrap(step)
+            columnar_batches = 0
+            columnar_fallbacks = 0
+            for raw in _iter_cursors(plan.steps):
+                columnar_batches += getattr(raw, "cbatches_produced", 0)
+                columnar_fallbacks += getattr(raw, "columnar_fallbacks", 0)
                 if isinstance(raw, ExchangeCursor):
                     metrics.counter("exchange_partitions").inc(raw.partitions)
                     if raw.queue_full_stalls:
@@ -180,6 +207,10 @@ class ExecutionEngine:
                     metrics.histogram("parallel_efficiency").observe(
                         raw.parallel_efficiency
                     )
+            if columnar_batches:
+                metrics.counter("columnar_batches").inc(columnar_batches)
+            if columnar_fallbacks:
+                metrics.counter("columnar_fallbacks").inc(columnar_fallbacks)
         trace = execution_trace(plan, elapsed)
         trace.set(rows=len(rows), batches=batches)
         tracer.attach(trace)

@@ -131,6 +131,14 @@ class TangoConfig:
     #: fair-share scheduling, health-driven admission control) instead of
     #: executing inline on the caller's thread.
     service: ServiceConfig | None = None
+    #: Columnar execution backend for the middleware operators: ``"off"``
+    #: (row-at-a-time, paper faithful), ``"python"`` (struct-of-arrays
+    #: batches, C-speed ``bisect``/``compress`` vectorization), or
+    #: ``"numpy"`` (ndarray columns where types allow; degrades to
+    #: ``"python"`` when numpy is absent).  Results and error behavior are
+    #: identical in every mode — unsupported expressions and mixed-type
+    #: batches fall back to exact row semantics per batch.
+    columnar: str = "off"
 
 
 #: Constructor kwargs that moved into TangoConfig when it froze (PR 1) and
@@ -464,6 +472,7 @@ class Tango:
                 batch_size=self.config.batch_size,
                 retry=retry,
                 parallel=self._parallel_context() if parallel else None,
+                columnar=self.config.columnar,
             )
             span.set(steps=len(execution_plan.steps))
         outcome = self.engine.execute(
@@ -639,6 +648,7 @@ class Tango:
             batch_size=self.config.batch_size,
             retry=self._retry_state(),
             parallel=self._parallel_context(),
+            columnar=self.config.columnar,
         )
         outcome = self.engine.execute(
             execution_plan,

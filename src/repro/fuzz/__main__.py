@@ -41,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="report failures without delta-debugging them",
     )
+    parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="drop the columnar backends from the configuration matrix",
+    )
     arguments = parser.parse_args(argv)
     harness = FuzzHarness(
         seed=arguments.seed,
@@ -48,6 +53,7 @@ def main(argv: list[str] | None = None) -> int:
         out_dir=arguments.out,
         max_failures=arguments.max_failures,
         shrink=not arguments.no_shrink,
+        columnar_axis=not arguments.no_columnar,
     )
     report = harness.run()
     print(report.summary())

@@ -60,11 +60,13 @@ class FuzzHarness:
     #: Stop early after this many distinct failures.
     max_failures: int = 5
     shrink: bool = True
+    #: Cross the columnar backends into the oracle's configuration matrix.
+    columnar_axis: bool = True
 
     def run(self) -> FuzzReport:
         began = time.perf_counter()
         generator = QueryGenerator(seed=self.seed)
-        oracle = Oracle()
+        oracle = Oracle(columnar_axis=self.columnar_axis)
         rng = random.Random(f"repro.fuzz.harness:{self.seed}")
         report = FuzzReport(seed=self.seed, budget=self.budget)
         index = 0

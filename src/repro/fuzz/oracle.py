@@ -51,6 +51,7 @@ from repro.resilience.retry import RetryPolicy
 from repro.stats.cardinality import CardinalityEstimator
 from repro.stats.collector import StatisticsCollector
 from repro.stats.selectivity import PredicateEstimator
+from repro.xxl.columnar import numpy_available
 
 #: Retry policy for chaos executions: generous attempts, no sleeping —
 #: chaos runs prove equivalence under faults, not backoff behavior.
@@ -61,6 +62,9 @@ CHAOS_RETRY = RetryPolicy(
 #: The configuration matrix the oracle samples (Section 6's knobs).
 WORKER_CHOICES = (1, 2, 4)
 BATCH_CHOICES = (1, 7, 256)
+#: Columnar backends crossed into the matrix: the row path, the
+#: pure-python vectorized path, and numpy when the interpreter has it.
+COLUMNAR_CHOICES = ("off", "python") + (("numpy",) if numpy_available() else ())
 
 
 @dataclass(frozen=True)
@@ -73,6 +77,7 @@ class ExecConfig:
     chaos_p: float = 0.1
     chaos_seed: int = 0
     tracing: bool = True
+    columnar: str = "off"
 
     def tango_config(self) -> TangoConfig:
         retry = CHAOS_RETRY if self.chaos else RetryPolicy()
@@ -82,6 +87,7 @@ class ExecConfig:
             retry=retry,
             tracing=self.tracing,
             fallback=False,
+            columnar=self.columnar,
         )
 
     def fault_injector(self) -> FaultInjector | None:
@@ -204,6 +210,9 @@ class Oracle:
     rule_samples: int = 3
     #: Configuration-matrix points sampled per case.
     config_samples: int = 2
+    #: Cross the columnar backends into the configuration matrix, checking
+    #: vectorized executions against the row-mode all-DBMS baseline.
+    columnar_axis: bool = True
     #: Total plan executions performed so far (the harness budget unit).
     executions: int = field(default=0, init=False)
 
@@ -296,17 +305,19 @@ class Oracle:
             seen.add(plan.cache_key)
             yield ("rule", name), plan, DEFAULT_CONFIG
 
+        columnar_choices = COLUMNAR_CHOICES if self.columnar_axis else ("off",)
         matrix = [
             ExecConfig(
                 workers=workers,
                 batch_size=batch,
                 chaos=chaos,
                 chaos_seed=rng.randrange(2**31) if chaos else 0,
+                columnar=columnar,
             )
-            for workers, batch, chaos in itertools.product(
-                WORKER_CHOICES, BATCH_CHOICES, (False, True)
+            for workers, batch, chaos, columnar in itertools.product(
+                WORKER_CHOICES, BATCH_CHOICES, (False, True), columnar_choices
             )
-            if (workers, batch, chaos) != (1, 256, False)
+            if (workers, batch, chaos, columnar) != (1, 256, False, "off")
         ]
         for config in rng.sample(matrix, k=min(self.config_samples, len(matrix))):
             yield ("baseline",), baseline_plan, config

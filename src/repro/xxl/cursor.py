@@ -25,6 +25,7 @@ from typing import Iterator
 
 from repro.algebra.schema import Schema
 from repro.errors import ExecutionError
+from repro.xxl.columnar import ColumnBatch
 
 #: Default rows per batch (TangoConfig.batch_size overrides per query).
 DEFAULT_BATCH_SIZE = 256
@@ -42,6 +43,11 @@ class Cursor:
     #: Rows pulled per internal batch; plan compilation overrides this
     #: per instance from ``TangoConfig.batch_size``.
     batch_size: int = DEFAULT_BATCH_SIZE
+    #: Columnar backend ("off", "python", "numpy"); plan compilation
+    #: stamps this per instance from ``TangoConfig.columnar``.  Operators
+    #: with a vectorized path switch on it; everything else keeps rows and
+    #: the interop shims bridge at the boundary.
+    columnar: str = "off"
 
     def __init__(self, schema: Schema):
         self.schema = schema
@@ -57,6 +63,13 @@ class Cursor:
         self.rows_produced = 0
         #: Non-empty batches handed out via :meth:`next_batch`.
         self.batches_produced = 0
+        #: Column batches this cursor produced (via its native columnar
+        #: path or the row shim) — the EXPLAIN ANALYZE columnar signal.
+        self.cbatches_produced = 0
+        #: Batches where the vectorized path hit an exception and re-ran
+        #: the exact row semantics instead (e.g. a division by zero that a
+        #: short-circuiting row predicate would or would not reach).
+        self.columnar_fallbacks = 0
 
     # -- protocol -------------------------------------------------------------------
 
@@ -111,6 +124,47 @@ class Cursor:
             self.rows_produced += len(batch)
             self.batches_produced += 1
         return batch
+
+    def next_column_batch(self, n: int) -> ColumnBatch | None:
+        """Return the next up-to-*n* rows as a :class:`ColumnBatch`, or
+        ``None`` exactly when drained.
+
+        The columnar face of the protocol.  Cursors without a native
+        columnar path serve it through the default row shim
+        (:meth:`_next_column_batch` transposes ``_next_batch``), so any
+        consumer may ask any cursor for columns.  Rows buffered by
+        ``has_next`` are served first — protocol mixing never drops or
+        reorders a row.
+        """
+        self.init()
+        if n <= 0:
+            return None
+        if self._lookahead:
+            rows = self.next_batch(n)  # drains the buffer; accounts rows
+            if not rows:
+                return None
+            self.cbatches_produced += 1
+            return ColumnBatch.from_rows(self.schema, rows, self._column_backend())
+        batch = self._pull_columns(n)
+        if batch is None:
+            return None
+        self.rows_produced += len(batch)
+        self.batches_produced += 1
+        return batch
+
+    def _pull_columns(self, n: int) -> ColumnBatch | None:
+        """Native column pull plus columnar accounting (no row accounting —
+        both public faces layer that on top)."""
+        batch = self._next_column_batch(n)
+        if batch is None or not len(batch):
+            return None
+        self.cbatches_produced += 1
+        return batch
+
+    def _column_backend(self) -> str:
+        """Backend for batches this cursor builds ("python" when columnar
+        is off but a consumer explicitly asked for columns)."""
+        return self.columnar if self.columnar != "off" else "python"
 
     def iter_batched(self, size: int | None = None) -> Iterator[tuple]:
         """Iterate rows, pulling them through :meth:`next_batch` internally.
@@ -167,6 +221,21 @@ class Cursor:
         except StopIteration:
             pass
         return batch
+
+    def _next_column_batch(self, n: int) -> ColumnBatch | None:
+        """Produce up to *n* rows as a :class:`ColumnBatch`; ``None`` when
+        drained.
+
+        Default: the row-to-column interop shim over :meth:`_next_batch`,
+        correct for every subclass.  Operators with a vectorized path
+        override this (and route their columnar-mode ``_next_batch``
+        through it via ``to_rows``, so columns flow between operators and
+        rows materialize only at the consumer boundary).
+        """
+        rows = self._next_batch(n)
+        if not rows:
+            return None
+        return ColumnBatch.from_rows(self.schema, rows, self._column_backend())
 
     def _close(self) -> None:
         """Release resources; default does nothing."""

@@ -37,6 +37,7 @@ from queue import Empty, Full, Queue
 from repro.algebra.schema import Schema
 from repro.errors import ExecutionError
 from repro.stats.collector import AttributeStats, RelationStats
+from repro.xxl.columnar import ColumnBatch
 from repro.xxl.cursor import Cursor
 
 #: Batches each partition queue buffers before its producer blocks
@@ -312,7 +313,11 @@ class _StreamReader:
             batch = self._exchange._take(self._stream)
             if batch is None:
                 return None
-            self._batch = batch
+            # Columnar producers ship ColumnBatches; the merge itself is
+            # row-at-a-time, so materialize here at the stream boundary.
+            self._batch = (
+                batch.to_rows() if isinstance(batch, ColumnBatch) else batch
+            )
             self._pos = 0
         row = self._batch[self._pos]
         self._pos += 1
@@ -364,6 +369,7 @@ class ExchangeCursor(Cursor):
         self._begin = 0.0
         self._wall_seconds = 0.0
         self._pending: deque[tuple] = deque()
+        self._csurplus: ColumnBatch | None = None
         self._current = 0
         self._heap: list | None = None
         self._readers: list[_StreamReader] = []
@@ -398,9 +404,16 @@ class ExchangeCursor(Cursor):
             stream.schema = pipeline.schema
             busy += time.perf_counter() - begin
             size = max(1, self.batch_size)
+            columnar = self.columnar != "off"
             while not cancel.is_set():
                 begin = time.perf_counter()
-                batch = pipeline.next_batch(size)
+                if columnar:
+                    # Column batches flow through the queue untouched, so
+                    # parallel partitions and vectorized operators compose
+                    # without a transpose at the thread boundary.
+                    batch = pipeline.next_column_batch(size)
+                else:
+                    batch = pipeline.next_batch(size)
                 busy += time.perf_counter() - begin
                 if not batch:
                     break
@@ -420,7 +433,9 @@ class ExchangeCursor(Cursor):
                     cancel.set()
             stream.done.set()
 
-    def _offer(self, stream: _PartitionStream, batch: list[tuple]) -> None:
+    def _offer(
+        self, stream: _PartitionStream, batch: list[tuple] | ColumnBatch
+    ) -> None:
         queue = stream.queue
         cancel = self._cancel
         assert cancel is not None
@@ -438,7 +453,9 @@ class ExchangeCursor(Cursor):
 
     # -- consumer side ---------------------------------------------------------------
 
-    def _take(self, stream: _PartitionStream) -> list[tuple] | None:
+    def _take(
+        self, stream: _PartitionStream
+    ) -> list[tuple] | ColumnBatch | None:
         """Next batch from one stream; None when it finished cleanly."""
         queue = stream.queue
         while True:
@@ -477,25 +494,78 @@ class ExchangeCursor(Cursor):
     def _next_batch(self, n: int) -> list[tuple]:
         out: list[tuple] = []
         pending = self._pending
-        fill = self._fill_merge if self.merge_keys else self._fill_concat
+        merge = bool(self.merge_keys)
         while len(out) < n:
             while pending and len(out) < n:
                 out.append(pending.popleft())
             if len(out) >= n:
                 break
-            if not fill():
+            if merge:
+                if not self._fill_merge():
+                    break
+                continue
+            rows = self._take_concat_rows()
+            if rows is None:
                 break
+            if not out and len(rows) == n:
+                # A full arriving batch with nothing buffered is the hot
+                # path: hand it straight through instead of round-tripping
+                # every row through the pending deque.
+                return rows
+            take = n - len(out)
+            out.extend(rows[:take])
+            pending.extend(rows[take:])
         return out
 
-    def _fill_concat(self) -> bool:
+    def _take_concat_rows(self) -> list[tuple] | None:
+        """Next concat-mode batch as rows; ``None`` when every partition
+        stream has finished."""
+        surplus = self._csurplus
+        if surplus is not None:
+            self._csurplus = None
+            return surplus.to_rows()
+        batch = self._take_concat()
+        if batch is None:
+            return None
+        return batch.to_rows() if isinstance(batch, ColumnBatch) else batch
+
+    def _take_concat(self) -> list[tuple] | ColumnBatch | None:
         while self._current < len(self._streams):
             batch = self._take(self._streams[self._current])
             if batch is None:
                 self._current += 1
                 continue
-            self._pending.extend(batch)
-            return True
-        return False
+            return batch
+        return None
+
+    def _next_column_batch(self, n: int) -> ColumnBatch | None:
+        if self.merge_keys or self.columnar == "off" or self._pending:
+            # Merge mode reassembles row-at-a-time; buffered rows must be
+            # served in order first — both go through the row shim.
+            return super()._next_column_batch(n)
+        parts: list[ColumnBatch] = []
+        filled = 0
+        if self._csurplus is not None:
+            parts.append(self._csurplus)
+            filled = len(self._csurplus)
+            self._csurplus = None
+        while filled < n:
+            batch = self._take_concat()
+            if batch is None:
+                break
+            if not isinstance(batch, ColumnBatch):
+                batch = ColumnBatch.from_rows(
+                    self.schema, batch, self._column_backend()
+                )
+            parts.append(batch)
+            filled += len(batch)
+        if not parts:
+            return None
+        combined = ColumnBatch.concat(parts)
+        if len(combined) > n:
+            self._csurplus = combined.slice(n, len(combined))
+            combined = combined.slice(0, n)
+        return combined
 
     def _fill_merge(self) -> bool:
         if self._heap is None:
@@ -558,5 +628,6 @@ class ExchangeCursor(Cursor):
             efficiency = sum(self._busy) / (self._wall_seconds * self.partitions)
             self.parallel_efficiency = min(1.0, efficiency)
         self._pending.clear()
+        self._csurplus = None
         self._heap = None
         self._readers = []

@@ -15,6 +15,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.algebra.schema import Schema
 from repro.dbms.costmodel import CostMeter
+from repro.xxl.columnar import ColumnBatch
 from repro.xxl.cursor import Cursor
 
 
@@ -45,6 +46,15 @@ class RelationCursor(Cursor):
         if self._meter is not None and batch:
             self._meter.charge_cpu(len(batch))
         return batch
+
+    def _next_column_batch(self, n: int) -> ColumnBatch | None:
+        rows = self._rows[self._position : self._position + n]
+        if not rows:
+            return None
+        self._position += len(rows)
+        if self._meter is not None:
+            self._meter.charge_cpu(len(rows))
+        return ColumnBatch.from_rows(self.schema, rows, self._column_backend())
 
 
 class SQLCursor(Cursor):
@@ -129,6 +139,18 @@ class SQLCursor(Cursor):
         )
         self.fetch_seconds += time.perf_counter() - begin
         return batch
+
+    def _next_column_batch(self, n: int):
+        # TRANSFER^M builds column batches directly from the fetchmany
+        # result — the transfer boundary is also where string values get
+        # interned, so every later equality on those columns starts with a
+        # pointer comparison.
+        rows = self._next_batch(n)
+        if not rows:
+            return None
+        return ColumnBatch.from_rows(
+            self.schema, rows, self._column_backend(), intern=True
+        )
 
     def _close(self) -> None:
         if self._cursor is not None:

@@ -1,0 +1,100 @@
+"""Integration: columnar execution is an invisible optimization.
+
+The paper's four queries must return *byte-identical* rows — same values,
+same types, same order — with the columnar path on or off, serial and
+partition-parallel, and the execution trace must keep the same operator
+shape (the plan is unchanged; only the inner loops are vectorized).
+"""
+
+import os
+
+import pytest
+
+from repro.core.tango import Tango, TangoConfig
+from repro.dbms.database import MiniDB
+from repro.workloads import queries
+from repro.workloads.uis import load_uis
+from repro.xxl.columnar import numpy_available
+
+Q1_SQL = queries.query1_sql()
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(scope="module")
+def columnar_db():
+    db = MiniDB()
+    load_uis(db, scale=0.01, with_variants=False)
+    return db
+
+
+def initial_plan(db, name):
+    return {
+        "Q2": lambda: queries.query2_initial_plan(db, "1996-01-01"),
+        "Q3": lambda: queries.query3_initial_plan(db, "1995-01-01"),
+        "Q4": lambda: queries.query4_initial_plan(db),
+    }[name]()
+
+
+def run(tango, name):
+    if name == "Q1":
+        return tango.query(Q1_SQL)
+    optimization = tango.optimize(initial_plan(tango.db, name))
+    return tango.execute_plan(optimization.plan)
+
+
+def trace_shape(span):
+    """The operator skeleton of a span tree: names/kinds, no measurements."""
+    if span is None:
+        return None
+    return (span.name, span.kind, tuple(trace_shape(c) for c in span.children))
+
+
+class TestColumnarEquivalence:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_byte_identical_rows_and_trace_shape(
+        self, columnar_db, name, workers, backend
+    ):
+        row_mode = Tango(
+            columnar_db, config=TangoConfig(workers=workers, tracing=True)
+        )
+        columnar = Tango(
+            columnar_db,
+            config=TangoConfig(workers=workers, tracing=True, columnar=backend),
+        )
+        expected = run(row_mode, name)
+        actual = run(columnar, name)
+        assert actual.rows == expected.rows
+        assert [
+            [type(value) for value in row] for row in actual.rows
+        ] == [[type(value) for value in row] for row in expected.rows]
+        assert trace_shape(actual.trace) == trace_shape(expected.trace)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_columnar_path_actually_engages(self, columnar_db, backend):
+        tango = Tango(columnar_db, config=TangoConfig(columnar=backend))
+        run(tango, "Q1")
+        counters = tango.metrics.to_dict()["counters"]
+        assert counters.get("columnar_batches", 0) > 0
+
+    @pytest.mark.skipif(
+        os.environ.get("TANGO_COLUMNAR", "").strip().lower()
+        not in ("", "0", "off", "false"),
+        reason="the TANGO_COLUMNAR profile forces columnar execution on",
+    )
+    def test_row_mode_reports_no_columnar_batches(self, columnar_db):
+        tango = Tango(columnar_db, config=TangoConfig())
+        run(tango, "Q1")
+        counters = tango.metrics.to_dict()["counters"]
+        assert counters.get("columnar_batches", 0) == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_explain_analyze_marks_columnar_operators(self, columnar_db, backend):
+        tango = Tango(columnar_db, config=TangoConfig(columnar=backend))
+        report = tango.explain_analyze(Q1_SQL)
+        marked = [m for m in report if m.columnar]
+        assert marked, "no operator carried the columnar annotation"
+        assert f"[columnar={backend}]" in str(report)
+        payload = report.to_dict()
+        assert any(m["columnar"] for m in payload["operators"])

@@ -1,0 +1,241 @@
+"""Unit tests for the columnar batch layer (:mod:`repro.xxl.columnar`).
+
+Construction/slicing/filter semantics, exact ``to_rows``/``from_rows``
+round-trips (None-valued and empty batches included), expression
+compilation, and order preservation through the row<->column shims at
+cursor boundaries.
+"""
+
+import pytest
+
+from repro.algebra.expressions import And, Comparison, col, lit
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.xxl.columnar import (
+    BACKENDS,
+    ColumnBatch,
+    ColumnarUnsupported,
+    compile_columnar,
+    numpy_available,
+    resolve_backend,
+)
+from repro.xxl.cursor import materialize
+from repro.xxl.filter import FilterCursor
+from repro.xxl.project import ProjectCursor
+from repro.xxl.sources import RelationCursor
+
+SCHEMA = Schema(
+    [
+        Attribute("K", AttrType.INT),
+        Attribute("NAME", AttrType.STR),
+        Attribute("T1", AttrType.DATE),
+    ]
+)
+ROWS = [
+    (3, "c", 30),
+    (1, "a", 10),
+    (2, "b", 20),
+    (1, "a", 15),
+]
+
+BACKEND_PARAMS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(params=BACKEND_PARAMS)
+def backend(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_from_rows_transposes(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        assert len(batch) == 4
+        assert batch.column_list(0) == [3, 1, 2, 1]
+        assert batch.column_list(1) == ["c", "a", "b", "a"]
+        assert batch.schema is SCHEMA
+
+    def test_round_trip_is_exact(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        assert batch.to_rows() == ROWS
+
+    def test_round_trip_preserves_value_types(self, backend):
+        # numpy must not silently coerce: mixed int/None and int/float
+        # columns stay boxed so the round trip is bit-for-bit.
+        rows = [(1, None, 10), (None, "x", 2**70), (3, "y", 30)]
+        batch = ColumnBatch.from_rows(SCHEMA, rows, backend)
+        out = batch.to_rows()
+        assert out == rows
+        assert [type(v) for row in out for v in row] == [
+            type(v) for row in rows for v in row
+        ]
+
+    def test_empty_batch(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, [], backend)
+        assert len(batch) == 0
+        assert batch.to_rows() == []
+
+    def test_zero_width_schema(self, backend):
+        batch = ColumnBatch.from_rows(Schema([]), [(), (), ()], backend)
+        assert len(batch) == 3
+        assert batch.to_rows() == [(), (), ()]
+
+    def test_interning_keeps_values_equal(self):
+        names = ["".join(["a", "b", str(i % 2)]) for i in range(6)]
+        rows = [(i, name, i) for i, name in enumerate(names)]
+        batch = ColumnBatch.from_rows(SCHEMA, rows, intern=True)
+        assert batch.to_rows() == rows
+        column = batch.column_list(1)
+        assert column[0] is column[2]  # interned duplicates share storage
+
+    def test_concat(self, backend):
+        first = ColumnBatch.from_rows(SCHEMA, ROWS[:2], backend)
+        second = ColumnBatch.from_rows(SCHEMA, ROWS[2:], backend)
+        assert ColumnBatch.concat([first, second]).to_rows() == ROWS
+
+    def test_concat_single_batch_is_identity(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        assert ColumnBatch.concat([batch]) is batch
+
+
+class TestDerivation:
+    def test_slice(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        assert batch.slice(1, 3).to_rows() == ROWS[1:3]
+        assert batch.slice(3, 99).to_rows() == ROWS[3:]
+        assert batch.slice(2, 2).to_rows() == []
+
+    def test_filter_bitmap(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        filtered = batch.filter([True, False, True, False])
+        assert filtered.to_rows() == [ROWS[0], ROWS[2]]
+        assert len(filtered) == 2
+
+    def test_filter_all_true_returns_self(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        assert batch.filter([1, 1, 1, 1]) is batch
+
+    def test_filter_none_kept(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        assert batch.filter([0, 0, 0, 0]).to_rows() == []
+
+    def test_project_shares_columns(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        narrow = batch.project([2, 0], Schema([SCHEMA[2], SCHEMA[0]]))
+        assert narrow.to_rows() == [(t1, k) for k, _, t1 in ROWS]
+        assert narrow.columns[0] is batch.columns[2]
+
+    def test_typed_array(self):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS)
+        packed = batch.typed_array(0)
+        assert packed is not None and list(packed) == [3, 1, 2, 1]
+        assert batch.typed_array(1) is None  # STR has no machine type
+        view = batch.typed_view(2)
+        assert view is not None and view.tolist() == [30, 10, 20, 15]
+
+    def test_typed_array_refuses_none(self):
+        batch = ColumnBatch.from_rows(SCHEMA, [(1, "a", None), (2, "b", 3)])
+        assert batch.typed_array(2) is None
+        assert batch.nbytes() > 0
+
+
+class TestBackendResolution:
+    def test_known_backends(self):
+        assert resolve_backend("off") == "off"
+        assert resolve_backend(None) == "off"
+        assert resolve_backend("python") == "python"
+        assert resolve_backend("numpy") in ("numpy", "python")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("arrow")
+        assert BACKENDS == ("off", "python", "numpy")
+
+
+class TestCompileColumnar:
+    def test_comparison_bitmap(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        predicate = compile_columnar(
+            Comparison("<", col("K"), lit(3)), SCHEMA, backend
+        )
+        assert [bool(v) for v in predicate(batch)] == [False, True, True, True]
+
+    def test_conjunction(self, backend):
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        predicate = compile_columnar(
+            And(
+                [
+                    Comparison("=", col("K"), lit(1)),
+                    Comparison(">", col("T1"), lit(12)),
+                ]
+            ),
+            SCHEMA,
+            backend,
+        )
+        assert [bool(v) for v in predicate(batch)] == [False, False, False, True]
+
+    def test_matches_row_compilation(self, backend):
+        expression = Comparison(">=", col("T1"), col("K"))
+        row_func = expression.compile(SCHEMA)
+        column_func = compile_columnar(expression, SCHEMA, backend)
+        batch = ColumnBatch.from_rows(SCHEMA, ROWS, backend)
+        expected = [row_func(row) for row in ROWS]
+        assert [bool(v) for v in column_func(batch)] == expected
+
+    def test_unsupported_raises(self):
+        class Odd:
+            pass
+
+        with pytest.raises(ColumnarUnsupported):
+            compile_columnar(Odd(), SCHEMA)
+
+
+def columnar_relation(rows, backend="python"):
+    cursor = RelationCursor(SCHEMA, list(rows))
+    cursor.columnar = backend
+    return cursor
+
+
+class TestCursorShims:
+    def test_next_column_batch_native(self):
+        cursor = columnar_relation(ROWS)
+        cursor.init()
+        batch = cursor.next_column_batch(3)
+        assert batch.to_rows() == ROWS[:3]
+        assert cursor.next_column_batch(3).to_rows() == ROWS[3:]
+        assert cursor.next_column_batch(3) is None
+        assert cursor.cbatches_produced == 2
+        assert cursor.rows_produced == 4
+
+    def test_face_mixing_preserves_order(self):
+        # Row pulls and column pulls interleave; together they must see
+        # every row exactly once, in order.
+        cursor = columnar_relation(ROWS)
+        cursor.init()
+        seen = [cursor.next()]
+        seen.extend(cursor.next_column_batch(2).to_rows())
+        seen.extend(cursor.next_batch(10))
+        assert seen == ROWS
+        assert cursor.next_column_batch(1) is None
+
+    def test_row_shim_over_row_only_cursor(self):
+        # A cursor with no native columnar face still serves column
+        # batches through the default from_rows shim.
+        cursor = ProjectCursor.of_columns(RelationCursor(SCHEMA, ROWS), ["K"])
+        cursor.init()
+        batch = cursor.next_column_batch(10)
+        assert batch.to_rows() == [(k,) for k, _, _ in ROWS]
+
+    def test_columnar_filter_matches_row_filter(self, backend):
+        predicate = Comparison(">", col("T1"), lit(12))
+        row_result = materialize(FilterCursor(RelationCursor(SCHEMA, ROWS), predicate))
+        columnar = FilterCursor(columnar_relation(ROWS, backend), predicate)
+        columnar.columnar = backend
+        assert materialize(columnar) == row_result
+
+    def test_columnar_filter_overshoot_served_in_order(self):
+        predicate = Comparison(">", col("K"), lit(0))
+        cursor = FilterCursor(columnar_relation(ROWS), predicate)
+        cursor.columnar = "python"
+        cursor.init()
+        first = cursor.next()  # forces surplus buffering inside the cursor
+        rest = cursor.next_batch(10)
+        assert [first] + rest == ROWS
