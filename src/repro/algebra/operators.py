@@ -567,6 +567,19 @@ class Coalesce(_Unary):
             raise PlanError(f"coalescing requires {t1}/{t2} in the input")
         return schema
 
+    def order(self) -> tuple[str, ...]:
+        # The single-pass algorithm emits each group at its first input
+        # row, carrying that row's value attributes and T1; only the
+        # extended endpoint T2 changes.  Every input order prefix up to
+        # (excluding) T2 therefore survives coalescing.
+        t2 = self.period[1].lower()
+        prefix: list[str] = []
+        for key in self.input.order():
+            if key.lower() == t2:
+                break
+            prefix.append(key)
+        return tuple(prefix)
+
     def signature(self) -> tuple:
         return ("Coalesce", tuple(name.lower() for name in self.period))
 

@@ -1,0 +1,293 @@
+"""The persistent cardinality feedback store (the Section 7 loop, part 2).
+
+:mod:`repro.core.feedback` closes the paper's performance-feedback loop for
+transfer *cost factors*; this module closes it for *cardinalities* — the
+dominant cause of bad plans.  Three pieces:
+
+* :func:`qerror` — the standard plan-quality metric: the factor by which an
+  estimate is off, ``max(est/act, act/est)``, symmetric and always ≥ 1.
+* :func:`plan_fingerprint` — a *cardinality* fingerprint of an operator
+  subtree: two subtrees that must produce the same number of rows map to
+  the same fingerprint.  Location moves (``T^M``/``T^D``), sorts,
+  projections, and top-level conjunct order all normalize away, so the
+  selectivity learned while executing one physical shape transfers to
+  every equivalent shape the optimizer may consider later.
+* :class:`CardinalityFeedbackStore` — learned cardinalities keyed by
+  fingerprint, EMA-smoothed over observations, JSON-persistable across
+  middleware sessions.  Its ``epoch`` mirrors the statistics collector's:
+  it is bumped only on *material* changes (a new fingerprint, or a shift
+  beyond the tolerance), and the plan cache keys on it, so cached plans
+  never outlive the estimates they were costed with while a converged
+  store keeps every cache hit.
+
+:func:`cardinality_observations` and :func:`trusted_nodes` harvest the
+est-vs-actual pairs from a finished execution's span tree; the harvest
+only trusts cursors that provably ran to exhaustion (join inputs may be
+abandoned early by the merge, so their row counts are lower bounds, not
+cardinalities).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.algebra.expressions import conjuncts
+from repro.algebra.operators import (
+    Difference,
+    Join,
+    Operator,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    TemporalJoin,
+    TransferD,
+    TransferM,
+)
+
+#: Temp tables (TRANSFER^D materializations) are execution artifacts; their
+#: subtrees never get a fingerprint — a learned cardinality keyed on a
+#: throwaway table name could never be recalled.
+TEMP_TABLE_PREFIX = "tango_tmp"
+
+
+def qerror(estimated: float, actual: float) -> float:
+    """The q-error of one estimate: ``max(est/act, act/est)``, floored at 1.
+
+    Both sides are clamped to 1 row first, the usual convention so that
+    empty results (where any ratio degenerates) compare sanely.
+    """
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+def plan_fingerprint(plan: Operator) -> str | None:
+    """The cardinality fingerprint of *plan*, or None when unlearnable.
+
+    Cardinality-preserving operators (``Sort``, ``Project``, both
+    transfers) map to their input's fingerprint; a ``Select``'s top-level
+    conjuncts are sorted on their SQL text, and join sides are ordered
+    canonically — so predicate reordering, commuted joins, and every
+    location assignment of the same logical subtree share one entry.
+    Subtrees that scan a ``TANGO_TMP`` materialization return None.
+    """
+    if isinstance(plan, (Sort, Project, TransferM, TransferD)):
+        return plan_fingerprint(plan.inputs[0])
+    if isinstance(plan, Scan):
+        table = plan.table.lower()
+        if table.startswith(TEMP_TABLE_PREFIX):
+            return None
+        return f"scan:{table}"
+    inputs = [plan_fingerprint(child) for child in plan.inputs]
+    if any(child is None for child in inputs):
+        return None
+    if isinstance(plan, Select):
+        terms = sorted(term.to_sql() for term in conjuncts(plan.predicate))
+        return f"select[{' AND '.join(terms)}]({inputs[0]})"
+    if isinstance(plan, (Join, TemporalJoin)):
+        tag = type(plan).__name__.lower()
+        if isinstance(plan, TemporalJoin):
+            payload = ",".join(name.lower() for name in plan.period)
+        else:
+            payload = " AND ".join(
+                sorted(term.to_sql() for term in conjuncts(plan.residual))
+            )
+        sides = sorted(
+            zip((plan.left_attr.lower(), plan.right_attr.lower()), inputs)
+        )
+        body = ";".join(f"{attr}={child}" for attr, child in sides)
+        return f"{tag}[{payload}]({body})"
+    # Remaining operators (TAggr, Dedup, Coalesce, Difference, Product):
+    # their memo signatures are pure string/tuple payloads, stable across
+    # sessions.
+    return f"{plan.signature()!r}({','.join(inputs)})"
+
+
+@dataclass(frozen=True)
+class LearnedCardinality:
+    """One feedback-store entry: the running estimate and its support."""
+
+    cardinality: float
+    observations: int
+
+
+class CardinalityFeedbackStore:
+    """Learned cardinalities by fingerprint; thread-safe; persistable.
+
+    ``smoothing`` is the EMA weight of each new observation (the first
+    observation seeds the average); ``tolerance`` is the relative change
+    below which an update is *immaterial* — the entry still moves, but
+    :attr:`epoch` stays put so converged workloads keep their plan-cache
+    hits.
+    """
+
+    def __init__(self, smoothing: float = 0.3, tolerance: float = 0.05):
+        self.smoothing = smoothing
+        self.tolerance = tolerance
+        self._entries: dict[str, LearnedCardinality] = {}
+        self._lock = threading.RLock()
+        #: Bumped on every material change; the plan cache and the
+        #: estimator's memo both key on it (see TangoConfig docs).
+        self.epoch = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def learned_cardinality(self, fingerprint: str) -> float | None:
+        """The current learned cardinality for *fingerprint*, if any."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            return entry.cardinality if entry is not None else None
+
+    def observations(self, fingerprint: str) -> int:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            return entry.observations if entry is not None else 0
+
+    def observe(self, fingerprint: str, actual_rows: float) -> bool:
+        """Record one observed cardinality; True when the change was
+        material (a new entry, or a shift beyond the tolerance) — which is
+        also exactly when :attr:`epoch` moved."""
+        actual = max(0.0, float(actual_rows))
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self._entries[fingerprint] = LearnedCardinality(actual, 1)
+                self.epoch += 1
+                return True
+            updated = entry.cardinality + self.smoothing * (
+                actual - entry.cardinality
+            )
+            material = qerror(updated, entry.cardinality) > 1.0 + self.tolerance
+            self._entries[fingerprint] = LearnedCardinality(
+                updated, entry.observations + 1
+            )
+            if material:
+                self.epoch += 1
+            return material
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+                self.epoch += 1
+
+    # -- persistence ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "version": 1,
+                "entries": {
+                    fingerprint: {
+                        "cardinality": entry.cardinality,
+                        "observations": entry.observations,
+                    }
+                    for fingerprint, entry in self._entries.items()
+                },
+            }
+
+    def save(self, path: str) -> None:
+        """Write the store to *path* atomically (write-then-rename)."""
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        scratch = f"{path}.tmp.{os.getpid()}"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(scratch, path)
+
+    def load(self, path: str) -> int:
+        """Merge entries from *path*; returns how many were adopted.
+
+        Loaded entries overwrite in-memory ones (the file is a snapshot of
+        a longer history).  Any adoption is a material change: the epoch
+        moves once so cached plans re-optimize against the learned world.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries = payload.get("entries", {})
+        with self._lock:
+            for fingerprint, fields in entries.items():
+                self._entries[fingerprint] = LearnedCardinality(
+                    float(fields["cardinality"]),
+                    int(fields.get("observations", 1)),
+                )
+            if entries:
+                self.epoch += 1
+        return len(entries)
+
+
+# -- harvesting actuals out of a finished execution ------------------------------------
+
+#: Blocking operators: their algorithm drains the input during ``init``/
+#: first pull, so the subtree below ran to exhaustion no matter what
+#: happened above.
+_BLOCKING = (Sort, TransferD)
+#: Operators that may abandon an input before exhausting it (the merge
+#: stops when the other side runs dry): observed row counts below them are
+#: lower bounds, not cardinalities.
+_PARTIAL = (Join, TemporalJoin, Product, Difference)
+
+
+def trusted_nodes(root: Operator, restore_blocking: bool = True) -> set[int]:
+    """ids of the nodes of *root* whose observed row counts equal their
+    true cardinality in a completed execution (see module docs).
+
+    With *restore_blocking* (default), a blocking operator re-establishes
+    trust below an abandoned join side — it drains its input the moment it
+    is pulled at all.  A caller that sees *zero* rows under such a node
+    cannot distinguish "drained an empty input" from "never pulled", and
+    should re-check against ``restore_blocking=False`` before learning.
+    """
+    trust: dict[int, bool] = {}
+
+    def visit(node: Operator, trusted: bool) -> None:
+        previous = trust.get(id(node))
+        trust[id(node)] = trusted if previous is None else (trusted and previous)
+        for child in node.inputs:
+            if restore_blocking and isinstance(node, _BLOCKING):
+                visit(child, True)
+            elif isinstance(node, _PARTIAL):
+                visit(child, False)
+            else:
+                visit(child, trusted)
+
+    visit(root, True)
+    return {ident for ident, trusted in trust.items() if trusted}
+
+
+def cardinality_observations(
+    trace, registry: dict[int, Operator]
+) -> list[tuple[Operator, int]]:
+    """(plan node, actual rows) pairs from one finished execution trace.
+
+    Spans are joined to plan nodes through the compile-time cursor
+    *registry*.  Partitioned executions register several cursors per node
+    (pooled range fetches, pipeline clones); their counts sum to the
+    node's total.  ``RepartitionOutput`` spans are skipped — they re-count
+    rows the serial transfer cursor under the same node already counted.
+    """
+    totals: dict[int, list] = {}
+
+    def visit(span) -> None:
+        if (
+            span.kind in ("cursor", "transfer")
+            and span.attributes.get("cursor") != "RepartitionOutput"
+        ):
+            node = registry.get(span.attributes.get("cursor_id"))
+            if node is not None:
+                rows = span.attributes.get("tuples")
+                if rows is None:
+                    rows = span.attributes.get("rows", 0)
+                slot = totals.setdefault(id(node), [node, 0])
+                slot[1] += int(rows)
+        for child in span.children:
+            visit(child)
+
+    visit(trace)
+    return [(node, rows) for node, rows in totals.values()]

@@ -43,7 +43,9 @@ from dataclasses import dataclass, field
 from repro.algebra.schema import Schema
 from repro.core.feedback import TransferObservation, observations_from_trace
 from repro.core.plans import ExecutionPlan
+from repro.core.reoptimize import ReoptimizationSignal
 from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.xxl.transfer import TransferDCursor
 from repro.obs.instrument import (
     CHILD_ATTRIBUTES,
     execution_trace,
@@ -114,6 +116,7 @@ class ExecutionEngine:
         metrics: MetricsRegistry | None = None,
         deadline_seconds: float | None = None,
         abort=None,
+        on_materialize=None,
     ) -> ExecutionOutcome:
         """Figure 2's ExecuteQuery: init every result set, drain the last.
 
@@ -131,6 +134,16 @@ class ExecutionEngine:
         :class:`~repro.errors.QueryCancelledError` (same teardown, same
         partial trace) — this is how a :class:`~repro.service.QueryHandle`
         cancels a query that is already running.
+
+        *on_materialize*, when given, is the mid-query re-optimization
+        probe (see :mod:`repro.core.reoptimize`): called right after each
+        ``TRANSFER^D`` step's ``init`` with the raw cursor — its temp
+        table is fully loaded, nothing downstream has started.  A non-None
+        return is a :class:`~repro.core.reoptimize.ReoptimizationDecision`
+        and makes the engine unwind with
+        :class:`~repro.core.reoptimize.ReoptimizationSignal`; the usual
+        teardown runs, except the *completed* transfers' temp tables stay
+        alive (the re-planning caller owns dropping them).
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         if instrument:
@@ -164,10 +177,24 @@ class ExecutionEngine:
 
         rows: list[tuple] = []
         batches = 0
+        completed: list[TransferDCursor] = []
+        keep: frozenset[str] = frozenset()
         try:
             for step in plan.steps:
                 check_interrupts()
                 step.init()
+                raw = unwrap(step)
+                if isinstance(raw, TransferDCursor):
+                    completed.append(raw)
+                    if on_materialize is not None:
+                        decision = on_materialize(raw)
+                        if decision is not None:
+                            keep = frozenset(
+                                cursor.table_name for cursor in completed
+                            )
+                            raise ReoptimizationSignal(
+                                decision, tuple(completed)
+                            )
             output = plan.output
             size = max(
                 1,
@@ -187,7 +214,7 @@ class ExecutionEngine:
                 rows.extend(batch)
             schema = output.schema
         finally:
-            self._teardown(plan)
+            self._teardown(plan, keep=keep)
         elapsed = time.perf_counter() - begin
         if metrics is not None:
             metrics.counter("batches_produced").inc(batches)
@@ -224,11 +251,15 @@ class ExecutionEngine:
             batches=batches,
         )
 
-    def _teardown(self, plan: ExecutionPlan) -> None:
+    def _teardown(
+        self, plan: ExecutionPlan, keep: frozenset[str] = frozenset()
+    ) -> None:
         """Close every step and drop every temp table, letting no failure
         in one step's cleanup skip another's; the first cleanup error
         surfaces only after everything was attempted (and never shadows an
-        execution error already propagating)."""
+        execution error already propagating).  Tables named in *keep*
+        survive — they feed the re-optimized remainder plan, whose
+        executor owns dropping them."""
         first_error: BaseException | None = None
         for step in plan.steps:
             try:
@@ -238,6 +269,8 @@ class ExecutionEngine:
                     first_error = error
         if self.cleanup_temp_tables:
             for transfer in plan.transfers_down:
+                if transfer.table_name in keep:
+                    continue
                 try:
                     transfer.drop()
                 except BaseException as error:  # noqa: BLE001

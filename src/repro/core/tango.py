@@ -45,13 +45,29 @@ every cursor to time individual ``next()`` calls.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 
 from repro.algebra.operators import Operator
+from repro.algebra.properties import guaranteed_order
 from repro.algebra.schema import Schema
+from repro.core.cardinality import (
+    CardinalityFeedbackStore,
+    cardinality_observations,
+    plan_fingerprint,
+    qerror,
+    trusted_nodes,
+)
 from repro.core.engine import ExecutionEngine
 from repro.core.feedback import FeedbackAdapter
+from repro.core.reoptimize import (
+    MAX_REOPTIMIZATIONS,
+    ReoptimizationDecision,
+    ReoptimizationSignal,
+    splice_completed,
+    temp_scan,
+)
 from repro.core.parser import is_temporal_query, parse_temporal_query
 from repro.core.plan_cache import PlanCache, fingerprint
 from repro.core.plans import compile_plan
@@ -139,6 +155,23 @@ class TangoConfig:
     #: identical in every mode — unsupported expressions and mixed-type
     #: batches fall back to exact row semantics per batch.
     columnar: str = "off"
+    #: Learn per-subtree cardinalities from execution actuals into the
+    #: :class:`~repro.core.cardinality.CardinalityFeedbackStore`, and let
+    #: the estimator prefer a learned cardinality over its derivation —
+    #: repeated workloads converge to near-true estimates (Section 7's
+    #: feedback promise, applied to cardinalities).
+    learn_cardinalities: bool = False
+    #: JSON file the feedback store is loaded from at startup and saved to
+    #: on close — learned cardinalities survive middleware restarts.  None
+    #: keeps the store in-memory only.
+    feedback_path: str | None = None
+    #: Mid-query re-optimization trigger: when the q-error observed at a
+    #: ``TRANSFER^D`` materialization point exceeds this factor, the
+    #: remainder of the plan is re-optimized with the now-known
+    #: cardinalities and spliced onto the completed work (see
+    #: :mod:`repro.core.reoptimize`).  0.0 (default) disables; 2.0 is a
+    #: reasonable production setting (re-plan when off by more than 2x).
+    reoptimize_threshold: float = 0.0
 
 
 #: Constructor kwargs that moved into TangoConfig when it froze (PR 1) and
@@ -234,6 +267,7 @@ class Tango:
         metrics: MetricsRegistry | None = None,
         pool: ConnectionPool | None = None,
         plan_cache: PlanCache | None = None,
+        feedback_store: CardinalityFeedbackStore | None = None,
         **retired,
     ):
         self.config = _reject_retired_kwargs(config, retired)
@@ -268,8 +302,22 @@ class Tango:
         self.predicate_estimator = PredicateEstimator(
             use_histograms=self.config.use_histograms
         )
+        #: Learned cardinalities by predicate fingerprint (the Section 7
+        #: loop applied to cardinalities).  Shared when supplied — the
+        #: service's workers learn into one store; loaded from
+        #: ``config.feedback_path`` when set (and saved back on close).
+        self._owns_feedback_store = feedback_store is None
+        self.feedback_store = feedback_store or CardinalityFeedbackStore()
+        if feedback_store is None and self.config.feedback_path:
+            try:
+                self.feedback_store.load(self.config.feedback_path)
+            except FileNotFoundError:
+                pass  # first session: nothing learned yet
         self.estimator = CardinalityEstimator(
-            self.collector, self.predicate_estimator, metrics=self.metrics
+            self.collector,
+            self.predicate_estimator,
+            metrics=self.metrics,
+            feedback=self.feedback_store,
         )
         self.factors = factors or CostFactors()
         self.translator = SQLTranslator()
@@ -340,7 +388,10 @@ class Tango:
         self.collector.refresh()
         # Cardinality caches key on plan identity; new stats need a fresh one.
         self.estimator = CardinalityEstimator(
-            self.collector, self.predicate_estimator, metrics=self.metrics
+            self.collector,
+            self.predicate_estimator,
+            metrics=self.metrics,
+            feedback=self.feedback_store,
         )
         self._optimizer = None
 
@@ -388,6 +439,15 @@ class Tango:
         self._closed = True
         if self._service is not None:
             self._service.close()
+        if (
+            self.config.feedback_path
+            and self._owns_feedback_store
+            and len(self.feedback_store)
+        ):
+            try:
+                self.feedback_store.save(self.config.feedback_path)
+            except OSError:
+                self.metrics.counter("feedback_store_save_errors").inc()
         self.final_metrics = self.metrics.flush()
         if self._owns_pool:
             if self._pool is not None:
@@ -413,12 +473,19 @@ class Tango:
         """Run the two-phase optimizer on a query or an initial plan.
 
         Repeated queries are answered from the plan cache: the key couples
-        the normalized query fingerprint to the current statistics epoch
-        and this instance's configuration, so a cache hit skips parsing and
-        the optimizer entirely while a statistics refresh (or a config
-        difference) forces a fresh optimization.
+        the normalized query fingerprint to the current statistics epoch,
+        the feedback store's epoch, and this instance's configuration, so
+        a cache hit skips parsing and the optimizer entirely while a
+        statistics refresh, a material cardinality-feedback update, or a
+        config difference forces a fresh optimization — cached plans never
+        outlive the estimates they were costed with.
         """
-        key = (fingerprint(query), self.collector.epoch, self.config)
+        key = (
+            fingerprint(query),
+            self.collector.epoch,
+            self.feedback_store.epoch,
+            self.config,
+        )
         cached = self.plan_cache.get(key)
         if cached is not None:
             self.metrics.counter("plan_cache_hits").inc()
@@ -458,39 +525,176 @@ class Tango:
         cancellation probe (see :meth:`ExecutionEngine.execute`).
         Transient DBMS failures inside the transfer operators are retried
         under ``config.retry``; ``config.deadline_seconds`` bounds the
-        execution's wall time.
+        execution's wall time.  With ``config.reoptimize_threshold`` set,
+        the executed plan may be re-optimized mid-query at ``TRANSFER^D``
+        materialization points (see :mod:`repro.core.reoptimize`).
         """
         self._check_open()
-        validate_plan(plan)
-        retry = retry if retry is not None else self._retry_state()
-        with self.tracer.span("translate", kind="phase") as span:
-            execution_plan = compile_plan(
-                plan,
-                self.connection,
-                self.middleware_meter,
-                self.translator,
-                batch_size=self.config.batch_size,
-                retry=retry,
-                parallel=self._parallel_context() if parallel else None,
-                columnar=self.config.columnar,
-            )
-            span.set(steps=len(execution_plan.steps))
-        outcome = self.engine.execute(
-            execution_plan,
-            tracer=self.tracer,
-            metrics=self.metrics,
-            deadline_seconds=self.config.deadline_seconds,
-            abort=abort,
+        outcome, executed = self._execute_optimized(
+            plan, retry=retry, parallel=parallel, abort=abort
         )
-        self._record_execution(outcome)
         return QueryResult(
             schema=outcome.schema,
             rows=outcome.rows,
             elapsed_seconds=outcome.elapsed_seconds,
             execution_seconds=outcome.elapsed_seconds,
-            plan=plan,
+            plan=executed,
             trace=outcome.trace if self.tracer.enabled else None,
         )
+
+    def _execute_optimized(
+        self,
+        plan: Operator,
+        *,
+        retry: RetryState | None = None,
+        parallel: bool = True,
+        abort=None,
+        instrument: bool = False,
+        registry: dict[int, Operator] | None = None,
+    ):
+        """Compile and run *plan*, re-planning at materialization points.
+
+        The loop body is one engine execution; a
+        :class:`~repro.core.reoptimize.ReoptimizationSignal` re-enters the
+        optimizer for the remainder (completed ``TRANSFER^D`` subtrees
+        spliced to temp-table scans) and goes around, at most
+        ``MAX_REOPTIMIZATIONS`` times.  Temp tables kept alive across a
+        splice are dropped here, unconditionally, whatever else happens —
+        the engine's no-leak guarantee extends across re-optimizations.
+        Returns ``(outcome, executed_plan)``; *registry*, when given,
+        accumulates every round's cursor→node mapping (EXPLAIN ANALYZE).
+        """
+        validate_plan(plan)
+        retry = retry if retry is not None else self._retry_state()
+        current = plan
+        rounds = 0
+        kept: list = []  # completed TransferDCursors surviving splices
+        try:
+            while True:
+                round_registry: dict[int, Operator] = {}
+                with self.tracer.span("translate", kind="phase") as span:
+                    execution_plan = compile_plan(
+                        current,
+                        self.connection,
+                        self.middleware_meter,
+                        self.translator,
+                        registry=round_registry,
+                        batch_size=self.config.batch_size,
+                        retry=retry,
+                        parallel=self._parallel_context() if parallel else None,
+                        columnar=self.config.columnar,
+                    )
+                    span.set(steps=len(execution_plan.steps))
+                if registry is not None:
+                    registry.update(round_registry)
+                probe = None
+                if (
+                    self.config.reoptimize_threshold > 0
+                    and rounds < MAX_REOPTIMIZATIONS
+                ):
+                    probe = self._materialization_probe(round_registry)
+                try:
+                    outcome = self.engine.execute(
+                        execution_plan,
+                        tracer=Tracer() if instrument else self.tracer,
+                        instrument=instrument,
+                        metrics=self.metrics,
+                        deadline_seconds=self.config.deadline_seconds,
+                        abort=abort,
+                        on_materialize=probe,
+                    )
+                except ReoptimizationSignal as signal:
+                    rounds += 1
+                    kept.extend(signal.completed)
+                    current = self._reoptimize_remainder(
+                        current, signal, round_registry
+                    )
+                    continue
+                self._record_execution(
+                    outcome, plan=current, registry=round_registry
+                )
+                if rounds and outcome.trace is not None:
+                    outcome.trace.set(reoptimizations=rounds)
+                return outcome, current
+        finally:
+            self._drop_kept(kept)
+
+    def _drop_kept(self, kept: list) -> None:
+        """Drop temp tables kept alive across splices; every drop is
+        attempted, and the first failure surfaces only when no other
+        error is already propagating (mirrors the engine's teardown)."""
+        first_error: BaseException | None = None
+        for cursor in kept:
+            try:
+                cursor.drop()
+            except BaseException as error:  # noqa: BLE001 - must keep going
+                if first_error is None:
+                    first_error = error
+        if first_error is not None and sys.exc_info()[0] is None:
+            raise first_error
+
+    def _materialization_probe(self, registry: dict[int, Operator]):
+        """The engine's ``on_materialize`` callback for one round.
+
+        Lays the loaded row count against the estimate for the transfer's
+        subtree; always feeds the q-error histogram (and the feedback
+        store, when learning), and answers with a decision — triggering
+        re-optimization — when the q-error exceeds the threshold.
+        """
+
+        def probe(cursor):
+            node = registry.get(id(cursor))
+            if node is None:
+                return None
+            estimated = float(self.estimator.estimate(node).cardinality)
+            actual = float(cursor.rows_loaded)
+            error = qerror(estimated, actual)
+            self.metrics.histogram("qerror").observe(error)
+            if self.config.learn_cardinalities:
+                fp = plan_fingerprint(node)
+                if fp is not None and self.feedback_store.observe(fp, actual):
+                    self.metrics.counter("cardinality_feedback_updates").inc()
+            if error <= self.config.reoptimize_threshold:
+                return None
+            return ReoptimizationDecision(
+                node=node, estimated=estimated, actual=actual, qerror=error
+            )
+
+        return probe
+
+    def _reoptimize_remainder(
+        self,
+        plan: Operator,
+        signal: ReoptimizationSignal,
+        registry: dict[int, Operator],
+    ) -> Operator:
+        """Splice completed materializations out of *plan* and re-enter
+        the optimizer for the remainder, under the original order
+        contract.  The collector auto-ANALYZEs the temp tables, so the
+        re-entered search runs on exact cardinalities for everything
+        already computed."""
+        self.metrics.counter("reoptimizations").inc()
+        decision = signal.decision
+        replacements: dict[int, Operator] = {}
+        for cursor in signal.completed:
+            node = registry.get(id(cursor))
+            if node is not None:
+                replacements[id(node)] = temp_scan(node, cursor.table_name)
+        with self.tracer.span(
+            "reoptimize",
+            kind="reoptimize",
+            qerror=decision.qerror,
+            estimated=decision.estimated,
+            actual=decision.actual,
+            at=decision.node.describe(),
+        ) as span:
+            remainder = splice_completed(plan, replacements)
+            result = self.optimizer.optimize(
+                remainder, required_order=tuple(guaranteed_order(plan))
+            )
+            validate_plan(result.plan)
+            span.set(cost=result.cost)
+        return result.plan
 
     def submit(
         self,
@@ -639,25 +843,9 @@ class Tango:
         self.metrics.counter("queries_analyzed").inc()
         optimization = self.optimize(query)
         registry: dict[int, Operator] = {}
-        execution_plan = compile_plan(
-            optimization.plan,
-            self.connection,
-            self.middleware_meter,
-            self.translator,
-            registry=registry,
-            batch_size=self.config.batch_size,
-            retry=self._retry_state(),
-            parallel=self._parallel_context(),
-            columnar=self.config.columnar,
+        outcome, executed = self._execute_optimized(
+            optimization.plan, instrument=True, registry=registry
         )
-        outcome = self.engine.execute(
-            execution_plan,
-            tracer=Tracer(),
-            instrument=True,
-            metrics=self.metrics,
-            deadline_seconds=self.config.deadline_seconds,
-        )
-        self._record_execution(outcome)
         coster = PlanCoster(
             self.estimator, self.factors, parallel_degree=self.config.workers
         )
@@ -668,9 +856,11 @@ class Tango:
             coster,
             estimated_total_us=optimization.cost,
             result_rows=len(outcome.rows),
+            reoptimize_threshold=self.config.reoptimize_threshold,
+            reoptimized=executed is not optimization.plan,
         )
 
-    def _record_execution(self, outcome) -> None:
+    def _record_execution(self, outcome, plan=None, registry=None) -> None:
         """Metrics + adaptive feedback for one engine execution."""
         self.metrics.histogram("execution_seconds").observe(outcome.elapsed_seconds)
         for observation in outcome.observations:
@@ -685,6 +875,39 @@ class Tango:
                 # Cached plans were chosen under the old factors.
                 self.plan_cache.clear()
                 self.metrics.counter("feedback_updates").inc()
+        if (
+            self.config.learn_cardinalities
+            and plan is not None
+            and registry
+            and outcome.trace is not None
+        ):
+            self._learn_cardinalities(outcome.trace, plan, registry)
+
+    def _learn_cardinalities(self, trace, plan, registry) -> None:
+        """Feed the feedback store from one *completed* execution.
+
+        Only cursors that provably ran to exhaustion are believed (join
+        inputs may be abandoned early — their counts are lower bounds);
+        zero-row observations under a blocking restore are additionally
+        re-checked, since "never pulled" and "drained empty" both read 0.
+        """
+        trusted = trusted_nodes(plan)
+        strict = trusted_nodes(plan, restore_blocking=False)
+        updates = 0
+        for node, actual in cardinality_observations(trace, registry):
+            if id(node) not in trusted:
+                continue
+            if actual == 0 and id(node) not in strict:
+                continue
+            fp = plan_fingerprint(node)
+            if fp is None:
+                continue
+            estimated = float(self.estimator.estimate(node).cardinality)
+            self.metrics.histogram("qerror").observe(qerror(estimated, actual))
+            if self.feedback_store.observe(fp, actual):
+                updates += 1
+        if updates:
+            self.metrics.counter("cardinality_feedback_updates").inc(updates)
 
     def _passthrough(self, sql: str) -> QueryResult:
         begin = time.perf_counter()

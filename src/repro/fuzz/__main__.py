@@ -46,6 +46,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="drop the columnar backends from the configuration matrix",
     )
+    parser.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help=(
+            "drop adaptive execution (cardinality learning + mid-query "
+            "re-optimization) from the configuration matrix"
+        ),
+    )
     arguments = parser.parse_args(argv)
     harness = FuzzHarness(
         seed=arguments.seed,
@@ -54,6 +62,7 @@ def main(argv: list[str] | None = None) -> int:
         max_failures=arguments.max_failures,
         shrink=not arguments.no_shrink,
         columnar_axis=not arguments.no_columnar,
+        adaptive_axis=not arguments.no_adaptive,
     )
     report = harness.run()
     print(report.summary())

@@ -171,11 +171,14 @@ def rows_to_code(rows: list[tuple]) -> str:
 
 
 def config_to_code(config) -> str:
-    return (
+    text = (
         f"ExecConfig(workers={config.workers}, batch_size={config.batch_size}, "
         f"chaos={config.chaos}, chaos_p={config.chaos_p}, "
-        f"chaos_seed={config.chaos_seed})"
+        f"chaos_seed={config.chaos_seed}"
     )
+    if getattr(config, "adaptive", False):
+        text += ", adaptive=True"
+    return text + ")"
 
 
 def emit_pytest(

@@ -62,11 +62,16 @@ class FuzzHarness:
     shrink: bool = True
     #: Cross the columnar backends into the oracle's configuration matrix.
     columnar_axis: bool = True
+    #: Cross adaptive execution (cardinality learning + mid-query
+    #: re-optimization) into the oracle's configuration matrix.
+    adaptive_axis: bool = True
 
     def run(self) -> FuzzReport:
         began = time.perf_counter()
         generator = QueryGenerator(seed=self.seed)
-        oracle = Oracle(columnar_axis=self.columnar_axis)
+        oracle = Oracle(
+            columnar_axis=self.columnar_axis, adaptive_axis=self.adaptive_axis
+        )
         rng = random.Random(f"repro.fuzz.harness:{self.seed}")
         report = FuzzReport(seed=self.seed, budget=self.budget)
         index = 0

@@ -65,6 +65,16 @@ BATCH_CHOICES = (1, 7, 256)
 #: Columnar backends crossed into the matrix: the row path, the
 #: pure-python vectorized path, and numpy when the interpreter has it.
 COLUMNAR_CHOICES = ("off", "python") + (("numpy",) if numpy_available() else ())
+#: Adaptive execution crossed into the matrix: cardinality learning plus
+#: mid-query re-optimization at materialization points — re-optimized
+#: plans must stay plan-equivalent and leak no temp tables across the
+#: splice, under chaos and partitioning too.
+ADAPTIVE_CHOICES = (False, True)
+
+#: The re-optimization threshold adaptive matrix points run under —
+#: deliberately low, so generated workloads (whose estimates are often
+#: rough) actually exercise the splice path.
+ADAPTIVE_REOPTIMIZE_THRESHOLD = 2.0
 
 
 @dataclass(frozen=True)
@@ -78,6 +88,7 @@ class ExecConfig:
     chaos_seed: int = 0
     tracing: bool = True
     columnar: str = "off"
+    adaptive: bool = False
 
     def tango_config(self) -> TangoConfig:
         retry = CHAOS_RETRY if self.chaos else RetryPolicy()
@@ -88,6 +99,10 @@ class ExecConfig:
             tracing=self.tracing,
             fallback=False,
             columnar=self.columnar,
+            learn_cardinalities=self.adaptive,
+            reoptimize_threshold=(
+                ADAPTIVE_REOPTIMIZE_THRESHOLD if self.adaptive else 0.0
+            ),
         )
 
     def fault_injector(self) -> FaultInjector | None:
@@ -213,6 +228,10 @@ class Oracle:
     #: Cross the columnar backends into the configuration matrix, checking
     #: vectorized executions against the row-mode all-DBMS baseline.
     columnar_axis: bool = True
+    #: Cross adaptive execution (cardinality learning + mid-query
+    #: re-optimization) into the matrix: spliced plans must stay
+    #: plan-equivalent and leak no temp tables.
+    adaptive_axis: bool = True
     #: Total plan executions performed so far (the harness budget unit).
     executions: int = field(default=0, init=False)
 
@@ -306,6 +325,7 @@ class Oracle:
             yield ("rule", name), plan, DEFAULT_CONFIG
 
         columnar_choices = COLUMNAR_CHOICES if self.columnar_axis else ("off",)
+        adaptive_choices = ADAPTIVE_CHOICES if self.adaptive_axis else (False,)
         matrix = [
             ExecConfig(
                 workers=workers,
@@ -313,11 +333,17 @@ class Oracle:
                 chaos=chaos,
                 chaos_seed=rng.randrange(2**31) if chaos else 0,
                 columnar=columnar,
+                adaptive=adaptive,
             )
-            for workers, batch, chaos, columnar in itertools.product(
-                WORKER_CHOICES, BATCH_CHOICES, (False, True), columnar_choices
+            for workers, batch, chaos, columnar, adaptive in itertools.product(
+                WORKER_CHOICES,
+                BATCH_CHOICES,
+                (False, True),
+                columnar_choices,
+                adaptive_choices,
             )
-            if (workers, batch, chaos, columnar) != (1, 256, False, "off")
+            if (workers, batch, chaos, columnar, adaptive)
+            != (1, 256, False, "off", False)
         ]
         for config in rng.sample(matrix, k=min(self.config_samples, len(matrix))):
             yield ("baseline",), baseline_plan, config

@@ -50,6 +50,12 @@ class OperatorMeasurement:
     #: Column batches produced / batches re-run row-wise for exactness.
     cbatches: int | None = None
     columnar_fallbacks: int | None = None
+    #: q-error of the row estimate, ``max(est/act, act/est)`` (None when
+    #: no estimate exists for this span).
+    qerror: float | None = None
+    #: True when the q-error exceeds the re-optimization threshold — the
+    #: operators that would trigger (or did trigger) a mid-query re-plan.
+    flagged: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -68,6 +74,8 @@ class OperatorMeasurement:
             "columnar": self.columnar,
             "cbatches": self.cbatches,
             "columnar_fallbacks": self.columnar_fallbacks,
+            "qerror": self.qerror,
+            "flagged": self.flagged,
         }
 
 
@@ -80,6 +88,10 @@ class ExplainAnalyzeReport:
     actual_seconds: float
     result_rows: int
     trace: Span
+    #: The threshold q-errors were flagged against (0.0 = flagging off).
+    reoptimize_threshold: float = 0.0
+    #: True when the executed plan was re-optimized mid-query.
+    reoptimized: bool = False
 
     def __iter__(self):
         return iter(self.operators)
@@ -93,13 +105,15 @@ class ExplainAnalyzeReport:
             "estimated_total_us": self.estimated_total_us,
             "actual_seconds": self.actual_seconds,
             "result_rows": self.result_rows,
+            "reoptimize_threshold": self.reoptimize_threshold,
+            "reoptimized": self.reoptimized,
             "trace": self.trace.to_dict(),
         }
 
     def __str__(self) -> str:
         header = (
             f"{'operator':<44} {'est rows':>10} {'act rows':>10} "
-            f"{'batches':>8} {'est us':>12} {'act us':>12}"
+            f"{'q-err':>8} {'batches':>8} {'est us':>12} {'act us':>12}"
         )
         lines = [header, "-" * len(header)]
         for m in self.operators:
@@ -125,15 +139,23 @@ class ExplainAnalyzeReport:
             )
             actual = f"{m.actual_self_us:.1f}" if m.actual_self_us is not None else "-"
             batches = str(m.batches) if m.batches is not None else "-"
+            # The "!" marks operators whose estimate is off beyond the
+            # re-optimization threshold.
+            qerr = "-"
+            if m.qerror is not None:
+                qerr = f"{m.qerror:.1f}" + ("!" if m.flagged else "")
             lines.append(
                 f"{label:<44} {est_rows:>10} {m.actual_rows:>10} "
-                f"{batches:>8} {est_cost:>12} {actual:>12}"
+                f"{qerr:>8} {batches:>8} {est_cost:>12} {actual:>12}"
             )
-        lines.append(
+        summary = (
             f"estimated total: {self.estimated_total_us:.1f}us   "
             f"actual: {self.actual_seconds * 1e6:.1f}us   "
             f"rows: {self.result_rows}"
         )
+        if self.reoptimized:
+            summary += "   [reoptimized]"
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -144,13 +166,19 @@ def build_report(
     coster,
     estimated_total_us: float,
     result_rows: int,
+    reoptimize_threshold: float = 0.0,
+    reoptimized: bool = False,
 ) -> ExplainAnalyzeReport:
     """Assemble the report from an ``execute`` span tree.
 
     *registry* maps ``id(cursor)`` (the ``cursor_id`` span attribute) to the
     plan node the cursor implements; *estimator* and *coster* supply the
-    estimates against which the span actuals are laid.
+    estimates against which the span actuals are laid.  Rows whose q-error
+    exceeds *reoptimize_threshold* (when > 0) come back flagged;
+    *reoptimized* marks a plan that was re-planned mid-query.
     """
+    from repro.core.cardinality import qerror as _qerror
+
     measurements: list[OperatorMeasurement] = []
 
     def visit(span: Span, depth: int) -> None:
@@ -179,6 +207,9 @@ def build_report(
         actual_rows = int(
             span.attributes.get("tuples", span.attributes.get("rows", 0))
         )
+        error = None
+        if estimated_rows is not None:
+            error = _qerror(estimated_rows, actual_rows)
         measurements.append(
             OperatorMeasurement(
                 algorithm=span.name,
@@ -196,6 +227,12 @@ def build_report(
                 columnar=span.attributes.get("columnar"),
                 cbatches=span.attributes.get("cbatches"),
                 columnar_fallbacks=span.attributes.get("columnar_fallbacks"),
+                qerror=error,
+                flagged=(
+                    error is not None
+                    and reoptimize_threshold > 0
+                    and error > reoptimize_threshold
+                ),
             )
         )
         for child in span.children:
@@ -208,6 +245,8 @@ def build_report(
         actual_seconds=trace.elapsed_seconds,
         result_rows=result_rows,
         trace=trace,
+        reoptimize_threshold=reoptimize_threshold,
+        reoptimized=reoptimized,
     )
 
 

@@ -57,6 +57,7 @@ class QueryService:
     ):
         # Imported here, not at module level: repro.core.tango imports
         # this package for the handle surface.
+        from repro.core.cardinality import CardinalityFeedbackStore
         from repro.core.plan_cache import PlanCache
         from repro.core.tango import TangoConfig
 
@@ -88,6 +89,16 @@ class QueryService:
         #: Shared across workers: one tenant's optimization is every
         #: tenant's cache hit (PlanCache is thread-safe).
         self.plan_cache = PlanCache(base.plan_cache_size)
+        #: Shared across workers too: cardinalities one tenant's execution
+        #: taught the store sharpen every tenant's next optimization (the
+        #: store is thread-safe).  Loaded/saved by the service, which owns
+        #: it — worker Tangos receive it pre-built.
+        self.feedback_store = CardinalityFeedbackStore()
+        if base.feedback_path:
+            try:
+                self.feedback_store.load(base.feedback_path)
+            except FileNotFoundError:
+                pass
         self._closed = False
         self._lock = threading.Lock()
         self._workers = [
@@ -185,6 +196,7 @@ class QueryService:
             metrics=self.metrics,
             pool=self.pool,
             plan_cache=self.plan_cache,
+            feedback_store=self.feedback_store,
         )
 
     def _worker_loop(self) -> None:
@@ -254,6 +266,11 @@ class QueryService:
         self.scheduler.close(cancel_queued=not drain)
         for worker in self._workers:
             worker.join(timeout)
+        if self.tango_config.feedback_path and len(self.feedback_store):
+            try:
+                self.feedback_store.save(self.tango_config.feedback_path)
+            except OSError:
+                self.metrics.counter("feedback_store_save_errors").inc()
         if self._owns_pool:
             self.pool.close()
 

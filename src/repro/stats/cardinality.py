@@ -53,6 +53,7 @@ class CardinalityEstimator:
         predicate_estimator: PredicateEstimator | None = None,
         taggr_max_fraction: float = 0.6,
         metrics=None,
+        feedback=None,
     ):
         self._collector = collector
         self._predicates = predicate_estimator or PredicateEstimator()
@@ -60,11 +61,21 @@ class CardinalityEstimator:
         self._cache: dict[tuple, RelationStats] = {}
         #: Optional repro.obs.metrics.MetricsRegistry counting cache traffic.
         self._metrics = metrics
+        #: Optional :class:`~repro.core.cardinality.CardinalityFeedbackStore`
+        #: (anything with ``epoch`` and ``learned_cardinality(fp)``): a
+        #: learned cardinality overrides the derived one per subtree.
+        self._feedback = feedback
+        self._feedback_epoch = feedback.epoch if feedback is not None else 0
+        self._fingerprints: dict[tuple, str | None] = {}
 
     # -- public API -----------------------------------------------------------------
 
     def estimate(self, plan: Operator) -> RelationStats:
         """Statistics of the relation *plan* evaluates to."""
+        if self._feedback is not None and self._feedback.epoch != self._feedback_epoch:
+            # New learned cardinalities re-derive everything memoized.
+            self._cache.clear()
+            self._feedback_epoch = self._feedback.epoch
         key = plan.cache_key
         cached = self._cache.get(key)
         if cached is not None:
@@ -73,9 +84,29 @@ class CardinalityEstimator:
             return cached
         if self._metrics is not None:
             self._metrics.counter("estimator_cache_misses").inc()
-        stats = self._dispatch(plan)
+        stats = self._apply_feedback(plan, self._dispatch(plan))
         self._cache[key] = stats
         return stats
+
+    def _apply_feedback(self, plan: Operator, stats: RelationStats) -> RelationStats:
+        """Prefer a learned cardinality over the derived one (observed
+        actuals outrank any model) — scaled copy, same attribute shapes."""
+        if self._feedback is None:
+            return stats
+        key = plan.cache_key
+        if key not in self._fingerprints:
+            # Imported lazily: repro.core's package init pulls in the Tango
+            # facade, which imports this module back.
+            from repro.core.cardinality import plan_fingerprint
+
+            self._fingerprints[key] = plan_fingerprint(plan)
+        fingerprint = self._fingerprints[key]
+        if fingerprint is None:
+            return stats
+        learned = self._feedback.learned_cardinality(fingerprint)
+        if learned is None or learned == stats.cardinality:
+            return stats
+        return stats.with_cardinality(learned)
 
     def selectivity(self, predicate, stats: RelationStats) -> float:
         return self._predicates.estimate(predicate, stats)

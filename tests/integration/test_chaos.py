@@ -130,7 +130,12 @@ class TestFallback:
             .to_middleware()
             .build()
         )
-        key = (fingerprint(sql), tango.collector.epoch, tango.config)
+        key = (
+            fingerprint(sql),
+            tango.collector.epoch,
+            tango.feedback_store.epoch,
+            tango.config,
+        )
         tango.plan_cache.put(
             key,
             OptimizationResult(plan=plan, cost=0.0, class_count=0, element_count=0, passes=0),

@@ -9,6 +9,8 @@ generous timeout.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.tango import Tango, TangoConfig
@@ -452,10 +454,20 @@ class TestRunningCancellation:
             service.close()
 
 
-def test_no_starvation_low_priority_tenant_cannot_block_high(db):
+def test_no_starvation_low_priority_tenant_cannot_block_high(db, monkeypatch):
     """ISSUE acceptance: a weight-1 flood must not starve a weight-8
     tenant — the interactive tenant's queries overtake most of the
     batch backlog."""
+    # Floor every query at a few milliseconds: on a fast machine the raw
+    # queries finish quicker than the submission loop, the flood drains
+    # before the probes are even queued, and the assertion races the
+    # hardware instead of testing the scheduler.  The floor keeps the
+    # backlog alive so dispatch order is decided by weights alone.
+    real_run = Tango.run
+    def floored_run(self, query, **kwargs):
+        time.sleep(0.005)
+        return real_run(self, query, **kwargs)
+    monkeypatch.setattr(Tango, "run", floored_run)
     config = ServiceConfig(
         max_concurrency=2,
         queue_limit=256,
