@@ -1,0 +1,253 @@
+"""Incremental view maintenance vs full recompute, measured.
+
+The scenario: a temporal-join view — a ~4000-row UIS fact relation
+joined on its key against a one-row-per-key dimension — maintained under
+seeded update streams of varying churn against the fact side.  The
+bilinear delta rule makes the incremental path truly delta-sized
+(ΔL ⋈ S_new; the dimension never changes, so the L_old ⋈ ΔS term
+vanishes), while the full path re-runs the whole join through the
+optimizer and engine.  Two twin middleware instances see identical
+streams; one refreshes through the cost-based chooser, the other is
+forced to recompute from scratch every time.
+
+Asserted here:
+
+* every refresh — whatever strategy the chooser picks — leaves the view
+  byte-identical to a from-scratch recompute of its defining query;
+* at low churn (2% per batch) the chooser picks the incremental path and
+  is at least ``BENCH_VIEWS_MIN_SPEEDUP`` (default 2.0) times faster per
+  refresh than always recomputing;
+* at high churn (every row replaced per batch) the chooser falls back to
+  full and loses at most ``BENCH_VIEWS_MAX_HIGH_CHURN_LOSS`` (default
+  1.10, i.e. 10%) against always-full — the decision overhead must stay
+  in the noise;
+* the churn level where the chooser's decision actually crosses from
+  incremental to full is measured and reported, not assumed.
+
+Numbers land in ``BENCH_VIEWS_JSON`` (default ``BENCH_views.json``) so
+CI can gate and archive the run.
+"""
+
+import json
+import os
+import time
+
+from harness import fmt, print_series
+
+from repro.algebra.builder import scan
+from repro.algebra.schema import Attribute, AttrType, Schema
+from repro.core.tango import Tango
+from repro.dbms.database import MiniDB
+from repro.dbms.loader import DirectPathLoader
+from repro.fuzz.compare import canonical_rows
+from repro.workloads.generator import (
+    ColumnSpec,
+    RandomRelationSpec,
+    UpdateStreamSpec,
+    generate_relation_rows,
+    generate_update_stream,
+)
+
+BASE_ROWS = 4000
+KEYS = 400
+ROUNDS = 5
+LOW_CHURN = 0.02
+HIGH_CHURN = 1.0
+CROSSOVER_SWEEP = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+MIN_SPEEDUP = float(os.environ.get("BENCH_VIEWS_MIN_SPEEDUP", "2.0"))
+MAX_HIGH_CHURN_LOSS = float(
+    os.environ.get("BENCH_VIEWS_MAX_HIGH_CHURN_LOSS", "1.10")
+)
+RESULTS_PATH = os.environ.get("BENCH_VIEWS_JSON", "BENCH_views.json")
+
+
+def record(section: str, payload: dict) -> None:
+    """Merge one test's numbers into the shared JSON results file."""
+    results = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            results = json.load(handle)
+    results[section] = payload
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2)
+
+
+def base_spec() -> RandomRelationSpec:
+    return RandomRelationSpec(
+        name="BASE",
+        columns=(ColumnSpec("K0", AttrType.INT, distinct=KEYS),),
+        cardinality=BASE_ROWS,
+        window_start=0,
+        window_end=365,
+        max_duration=30,
+        skew=0.5,
+        seed=13,
+    )
+
+
+DIM_SCHEMA = Schema(
+    [
+        Attribute("K0", AttrType.INT),
+        Attribute("T1", AttrType.DATE),
+        Attribute("T2", AttrType.DATE),
+    ]
+)
+
+
+def make_tango() -> Tango:
+    spec = base_spec()
+    db = MiniDB()
+    loader = DirectPathLoader(db)
+    loader.load(
+        spec.name, spec.schema, generate_relation_rows(spec), temporary=False
+    )
+    # One wide-period dimension row per key: every fact row matches once.
+    loader.load(
+        "DIM",
+        DIM_SCHEMA,
+        [(key, 0, 365) for key in range(KEYS)],
+        temporary=False,
+    )
+    db.analyze(spec.name)
+    db.analyze("DIM")
+    return Tango(db)
+
+
+def view_plan(db):
+    return (
+        scan(db, "BASE")
+        .temporal_join(scan(db, "DIM").build(), "K0", "K0")
+        .to_middleware()
+        .build()
+    )
+
+
+def refresh_timed(tango: Tango, strategy):
+    begin = time.perf_counter()
+    outcome = tango.refresh_view("V", strategy=strategy)
+    return time.perf_counter() - begin, outcome
+
+
+def scratch_rows(tango: Tango) -> list[tuple]:
+    plan = view_plan(tango.db)
+    return canonical_rows(tango.execute_plan(tango.optimize(plan).plan).rows)
+
+
+def run_stream(churn: float, stream_seed: int):
+    """Twin instances, identical batches; chooser vs always-full.
+
+    Returns (best chooser seconds, best full seconds, strategies picked,
+    total delta rows applied).
+    """
+    chooser, full = make_tango(), make_tango()
+    chooser.create_view("V", view_plan(chooser.db))
+    full.create_view("V", view_plan(full.db))
+    batches = generate_update_stream(
+        base_spec(),
+        UpdateStreamSpec(
+            batches=ROUNDS, churn=churn, insert_fraction=0.5, seed=stream_seed
+        ),
+    )
+    best_chooser, best_full = float("inf"), float("inf")
+    strategies, delta_rows = [], 0
+    for batch in batches:
+        delta_rows += batch.rows
+        chooser.apply_updates("BASE", batch.inserts, batch.deletes)
+        full.apply_updates("BASE", batch.inserts, batch.deletes)
+        elapsed, outcome = refresh_timed(chooser, None)
+        best_chooser = min(best_chooser, elapsed)
+        strategies.append(outcome.strategy)
+        elapsed, _ = refresh_timed(full, "full")
+        best_full = min(best_full, elapsed)
+        assert list(chooser.db.table("V").rows) == list(full.db.table("V").rows)
+    # Whatever path was taken, the view is byte-identical to scratch.
+    assert list(chooser.db.table("V").rows) == scratch_rows(chooser)
+    chooser.close()
+    full.close()
+    return best_chooser, best_full, strategies, delta_rows
+
+
+def measure_crossover() -> float | None:
+    """The lowest swept churn where the chooser's decision is full."""
+    for churn in CROSSOVER_SWEEP:
+        tango = make_tango()
+        tango.create_view("V", view_plan(tango.db))
+        batch = generate_update_stream(
+            base_spec(),
+            UpdateStreamSpec(
+                batches=1, churn=churn, insert_fraction=0.5, seed=29
+            ),
+        )[0]
+        tango.apply_updates("BASE", batch.inserts, batch.deletes)
+        decision = tango.views.choose("V")
+        tango.close()
+        if decision.strategy == "full":
+            return churn
+    return None
+
+
+def test_incremental_maintenance_beats_full_recompute():
+    t_inc, t_full_low, low_strategies, low_delta = run_stream(LOW_CHURN, 17)
+    assert all(strategy == "incremental" for strategy in low_strategies), (
+        f"the chooser abandoned the incremental path at {LOW_CHURN:.0%} "
+        f"churn: {low_strategies}"
+    )
+    t_high, t_full_high, high_strategies, high_delta = run_stream(
+        HIGH_CHURN, 23
+    )
+    assert all(strategy == "full" for strategy in high_strategies), (
+        f"the chooser kept merging deltas at {HIGH_CHURN:.0%} churn: "
+        f"{high_strategies}"
+    )
+    crossover = measure_crossover()
+
+    speedup = t_full_low / t_inc
+    high_ratio = t_high / t_full_high
+    print_series(
+        f"View refresh: cost-based chooser vs always-full "
+        f"({BASE_ROWS} fact rows x {KEYS} dimension keys, best of {ROUNDS})",
+        ["churn", "chooser", "always-full", "ratio", "picked"],
+        [
+            [f"{LOW_CHURN:.0%}", fmt(t_inc), fmt(t_full_low),
+             f"{speedup:.2f}x faster", "incremental"],
+            [f"{HIGH_CHURN:.0%}", fmt(t_high), fmt(t_full_high),
+             f"{high_ratio:.2f}x of full", "full"],
+            ["crossover",
+             f"{crossover:.0%}" if crossover is not None else ">100%",
+             "-", "-", "decision flips"],
+        ],
+    )
+    record(
+        "views",
+        {
+            "base_rows": BASE_ROWS,
+            "dimension_keys": KEYS,
+            "rounds": ROUNDS,
+            "low_churn": LOW_CHURN,
+            "high_churn": HIGH_CHURN,
+            "low_delta_rows": low_delta,
+            "high_delta_rows": high_delta,
+            "best_seconds": {
+                "chooser_low_churn": t_inc,
+                "full_low_churn": t_full_low,
+                "chooser_high_churn": t_high,
+                "full_high_churn": t_full_high,
+            },
+            "low_churn_speedup": speedup,
+            "high_churn_ratio": high_ratio,
+            "crossover_churn": crossover,
+            "min_speedup_required": MIN_SPEEDUP,
+            "max_high_churn_loss": MAX_HIGH_CHURN_LOSS,
+        },
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental refresh is only {speedup:.2f}x always-full at "
+        f"{LOW_CHURN:.0%} churn (need >= {MIN_SPEEDUP}x): "
+        f"{fmt(t_inc)} vs {fmt(t_full_low)}"
+    )
+    assert high_ratio <= MAX_HIGH_CHURN_LOSS, (
+        f"the chooser costs {high_ratio:.2f}x always-full at "
+        f"{HIGH_CHURN:.0%} churn (allowed <= {MAX_HIGH_CHURN_LOSS}x): "
+        f"{fmt(t_high)} vs {fmt(t_full_high)}"
+    )

@@ -178,6 +178,30 @@ class CardinalityFeedbackStore:
                 self._entries.clear()
                 self.epoch += 1
 
+    def invalidate_table(self, table: str) -> int:
+        """Drop every learned cardinality whose fingerprint reads *table*.
+
+        Called when a base table's contents change (``Tango.apply_updates``):
+        selectivities learned against the old contents are stale, and an
+        update-heavy workload must not keep planning against them.  The
+        match is a conservative substring test on the ``scan:<table>``
+        fragment — a table whose name prefixes another's may invalidate a
+        few extra entries, never too few.  Returns how many entries were
+        dropped; :attr:`epoch` moves iff any were.
+        """
+        needle = f"scan:{table.lower()}"
+        with self._lock:
+            stale = [
+                fingerprint
+                for fingerprint in self._entries
+                if needle in fingerprint
+            ]
+            for fingerprint in stale:
+                del self._entries[fingerprint]
+            if stale:
+                self.epoch += 1
+            return len(stale)
+
     # -- persistence ------------------------------------------------------------------
 
     def to_dict(self) -> dict:

@@ -329,6 +329,7 @@ class Tango:
         self.plan_cache = plan_cache or PlanCache(self.config.plan_cache_size)
         self._optimizer: Optimizer | None = None
         self._service = None  # lazily-built QueryService (config.service)
+        self._views = None  # lazily-built ViewManager (repro.views)
         self._closed = False
 
     # -- configuration ----------------------------------------------------------------
@@ -378,13 +379,19 @@ class Tango:
             pool=self.pool,
         )
 
-    def refresh_statistics(self, tables: list[str] | None = None) -> None:
+    def refresh_statistics(
+        self, tables: list[str] | None = None, analyze: bool = True
+    ) -> None:
         """Re-ANALYZE base relations and drop cached statistics.
 
         The Statistics Collector re-reads the catalog lazily afterwards.
+        With ``analyze=False`` only the caches and the statistics epoch
+        move — for callers that changed data by a tracked delta
+        (``pending_delta``) and defer the histogram rebuild.
         """
-        for table in tables if tables is not None else self.db.list_tables():
-            self.db.analyze(table)
+        if analyze:
+            for table in tables if tables is not None else self.db.list_tables():
+                self.db.analyze(table)
         self.collector.refresh()
         # Cardinality caches key on plan identity; new stats need a fresh one.
         self.estimator = CardinalityEstimator(
@@ -413,6 +420,74 @@ class Tango:
         # New factors re-price every plan: cached choices may be stale.
         self.plan_cache.clear()
         return self.factors
+
+    # -- materialized views and the update path ---------------------------------------
+
+    @property
+    def views(self):
+        """The materialized-view registry (lazy; see :mod:`repro.views`)."""
+        if self._views is None:
+            from repro.views import ViewManager
+
+            self._views = ViewManager(self)
+        return self._views
+
+    def create_view(self, name: str, query):
+        """Materialize *query* (temporal SQL text or an initial plan) as
+        the TANGO-managed table *name*; returns the registered view."""
+        self._check_open()
+        return self.views.create(name, query)
+
+    def refresh_view(self, name: str, strategy: str | None = None, explain: bool = False):
+        """Bring view *name* up to date; the refresh strategy is chosen by
+        cost unless *strategy* forces ``"incremental"``/``"full"``."""
+        self._check_open()
+        return self.views.refresh(name, strategy=strategy, explain=explain)
+
+    def drop_view(self, name: str) -> None:
+        self._check_open()
+        self.views.drop(name)
+
+    def list_views(self) -> list[str]:
+        return self.views.names() if self._views is not None else []
+
+    def apply_updates(self, table: str, inserts=(), deletes=()) -> dict:
+        """Apply one update batch (the UIS churn path) to a base table.
+
+        Deletes are removed first (multiset-exact; a missing row aborts the
+        whole batch), then inserts are appended.  The batch flows into every
+        dependent view's pending delta log, the table is re-ANALYZEd (moving
+        the statistics epoch, so the plan cache drops dependent plans), and
+        learned cardinalities that read the table are invalidated (moving
+        the feedback epoch).  Returns the applied counts.
+        """
+        self._check_open()
+        target = self.db.table(table)  # unknown table → CatalogError
+        insert_rows = [tuple(row) for row in inserts]
+        delete_rows = [tuple(row) for row in deletes]
+        with self.tracer.span(
+            "apply_updates",
+            kind="update",
+            table=target.name,
+            inserts=len(insert_rows),
+            deletes=len(delete_rows),
+        ) as span:
+            removed = self.db.delete_rows(target.name, delete_rows)
+            if insert_rows:
+                self.db.insert_rows(target.name, insert_rows)
+            if self._views is not None:
+                self.views.record_update(target.name, insert_rows, removed)
+            self.refresh_statistics([target.name])
+            invalidated = self.feedback_store.invalidate_table(target.name)
+            span.set(feedback_invalidated=invalidated)
+        self.metrics.counter("update_batches").inc()
+        self.metrics.counter("update_rows").inc(len(insert_rows) + len(removed))
+        return {
+            "table": target.name,
+            "inserted": len(insert_rows),
+            "deleted": len(removed),
+            "feedback_invalidated": invalidated,
+        }
 
     # -- lifecycle --------------------------------------------------------------------
 

@@ -9,6 +9,7 @@ but tests and workload generators use it freely.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Iterable, Sequence
 
 from repro.algebra.schema import Attribute, Schema
@@ -114,6 +115,47 @@ class MiniDB:
         self._rebuild_indexes(table)
         return inserted
 
+    def delete_rows(self, name: str, rows: Iterable[Sequence[object]]) -> list[tuple]:
+        """Delete specific rows (multiset semantics); returns them as stored.
+
+        Each requested row must match a stored row exactly (a row present
+        twice must be requested twice to remove both copies).  The call is
+        atomic: if any requested row is absent, nothing is deleted and a
+        :class:`~repro.errors.DatabaseError` is raised — an update stream
+        that has drifted from the table must fail loudly, not corrupt the
+        statistics delta.
+        """
+        table = self.table(name)
+        wanted = Counter(tuple(row) for row in rows)
+        if not wanted:
+            return []
+        kept: list[tuple] = []
+        removed: list[tuple] = []
+        for row in table.rows:
+            if wanted.get(row, 0) > 0:
+                wanted[row] -= 1
+                removed.append(row)
+            else:
+                kept.append(row)
+        missing = +wanted
+        if missing:
+            row, _count = next(iter(missing.items()))
+            raise DatabaseError(
+                f"DELETE of {len(missing)} distinct row(s) absent from "
+                f"{table.name!r} (e.g. {row!r})"
+            )
+        table.rows[:] = kept
+        table.clustered_order = ()
+        table.pending_delta += len(removed)
+        self.meter.charge_io(table.blocks)
+        self.meter.charge_cpu(table.cardinality + len(removed))
+        self._rebuild_indexes(table)
+        return removed
+
+    def stats_delta_of(self, name: str) -> int:
+        """Rows changed in *name* since its last ANALYZE."""
+        return self.table(name).pending_delta
+
     def analyze(
         self,
         name: str,
@@ -128,6 +170,7 @@ class MiniDB:
             column.has_index = True
             column.index_clustered = index.clustered
         self._statistics[name.lower()] = statistics
+        table.pending_delta = 0
         self.meter.charge_io(table.blocks)
         self.meter.charge_cpu(table.cardinality * len(table.schema))
         return statistics
@@ -199,6 +242,7 @@ class MiniDB:
                 removed = table.cardinality - len(kept)
                 table.rows[:] = kept
                 table.clustered_order = ()
+                table.pending_delta += removed
             self.meter.charge_io(table.blocks)
             self.meter.charge_cpu(table.cardinality + removed)
             self._rebuild_indexes(table)

@@ -42,6 +42,10 @@ class Table:
         self.block_size = block_size
         self.temporary = temporary
         self.clustered_order: tuple[str, ...] = ()
+        #: Rows changed (inserted, deleted, or reloaded) since the last
+        #: ANALYZE — the statistics delta the view refresh chooser and the
+        #: collector read to decide how stale the table's statistics are.
+        self.pending_delta = 0
 
     # -- size accounting -------------------------------------------------------
 
@@ -76,6 +80,7 @@ class Table:
             )
         self.rows.append(tuple(row))
         self.clustered_order = ()
+        self.pending_delta += 1
 
     def bulk_load(self, rows: Iterable[Sequence[object]], order: Sequence[str] = ()) -> int:
         """Append many rows (direct-path load); returns the count loaded.
@@ -94,6 +99,7 @@ class Table:
             self.rows.append(tuple(row))
             loaded += 1
         self.clustered_order = tuple(order)
+        self.pending_delta += loaded
         return loaded
 
     def scan(self, meter: CostMeter | None = None) -> Iterator[tuple]:
@@ -104,6 +110,7 @@ class Table:
         return iter(self.rows)
 
     def truncate(self) -> None:
+        self.pending_delta += self.cardinality
         self.rows.clear()
         self.clustered_order = ()
 

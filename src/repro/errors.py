@@ -153,3 +153,7 @@ class CalibrationError(ReproError):
 
 class StatisticsError(ReproError):
     """Requested statistics are unavailable or inconsistent."""
+
+
+class ViewError(ReproError):
+    """Materialized-view registration or refresh failure."""

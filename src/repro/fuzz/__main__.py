@@ -54,6 +54,14 @@ def main(argv: list[str] | None = None) -> int:
             "re-optimization) from the configuration matrix"
         ),
     )
+    parser.add_argument(
+        "--no-updates",
+        action="store_true",
+        help=(
+            "drop the update axis (mutate-then-refresh materialized-view "
+            "equivalence checks)"
+        ),
+    )
     arguments = parser.parse_args(argv)
     harness = FuzzHarness(
         seed=arguments.seed,
@@ -63,6 +71,7 @@ def main(argv: list[str] | None = None) -> int:
         shrink=not arguments.no_shrink,
         columnar_axis=not arguments.no_columnar,
         adaptive_axis=not arguments.no_adaptive,
+        updates_axis=not arguments.no_updates,
     )
     report = harness.run()
     print(report.summary())

@@ -181,6 +181,18 @@ def config_to_code(config) -> str:
     return text + ")"
 
 
+def updates_to_code(updates) -> str:
+    """Python source for an update stream: ``[(inserts, deletes), ...]``."""
+    if not updates:
+        return "[]"
+    lines = []
+    for batch in updates:
+        inserts = ", ".join(f"{tuple(row)!r}" for row in batch.inserts)
+        deletes = ", ".join(f"{tuple(row)!r}" for row in batch.deletes)
+        lines.append(f"{_INDENT}([{inserts}], [{deletes}]),")
+    return "[\n" + "\n".join(lines) + "\n]"
+
+
 def emit_pytest(
     tables: list[tuple[str, Schema, list[tuple]]],
     baseline_plan: Operator,
@@ -190,8 +202,11 @@ def emit_pytest(
     message: str,
     strategy,
     test_name: str = "test_fuzz_reproducer",
+    updates=None,
+    update_table: str | None = None,
 ) -> str:
     """A complete pytest module reproducing one shrunk failure."""
+    is_update_case = bool(strategy) and strategy[0] == "updates" and updates
     header = [
         '"""Auto-generated repro.fuzz reproducer.',
         "",
@@ -216,8 +231,10 @@ def emit_pytest(
         "from repro.dbms.database import MiniDB",
         "from repro.fuzz.compare import canonical_rows, describe_mismatch, is_sorted_on",
         "from repro.fuzz.oracle import DEFAULT_CONFIG, ExecConfig, execute_with_config",
-        "",
     ]
+    if is_update_case:
+        parts.append("from repro.core.tango import Tango")
+    parts.append("")
     for name, schema, _rows in tables:
         parts.append(f"SCHEMA_{name} = {schema_to_code(schema)}")
     parts.append("")
@@ -230,7 +247,9 @@ def emit_pytest(
     parts.append("")
     parts.append(f"CONFIG = {config_to_code(config)}")
     parts.append("")
-    order = tuple(guaranteed_order(failing_plan))
+    if is_update_case:
+        parts.append(f"UPDATE_BATCHES = {updates_to_code(updates)}")
+        parts.append("")
     body = [
         f"def {test_name}():",
         "    db = MiniDB()",
@@ -243,24 +262,45 @@ def emit_pytest(
                 f"    db.analyze({name!r})",
             ]
         )
-    body.extend(
-        [
-            "    expected = execute_with_config(db, BASELINE_PLAN, DEFAULT_CONFIG).rows",
-            "    actual = execute_with_config(db, FAILING_PLAN, CONFIG).rows",
-            "    assert canonical_rows(actual) == canonical_rows(expected), (",
-            "        describe_mismatch(expected, actual)",
-            "    )",
-        ]
-    )
-    if order:
+    if is_update_case:
         body.extend(
             [
-                f"    declared_order = {order!r}",
-                "    assert is_sorted_on(actual, FAILING_PLAN.schema, declared_order), (",
-                '        f"rows violate the declared order {declared_order}"',
+                "    tango = Tango(db, config=CONFIG.tango_config())",
+                "    try:",
+                '        tango.create_view("FUZZVIEW", FAILING_PLAN)',
+                "        for inserts, deletes in UPDATE_BATCHES:",
+                f"            tango.apply_updates({update_table!r}, inserts, deletes)",
+                '        tango.refresh_view("FUZZVIEW", strategy="incremental")',
+                '        stored = list(db.table("FUZZVIEW").rows)',
+                "        scratch = tango.execute_plan(tango.optimize(FAILING_PLAN).plan)",
+                "        expected = canonical_rows(scratch.rows)",
+                "    finally:",
+                "        tango.close()",
+                "    assert stored == expected, (",
+                "        describe_mismatch([tuple(row) for row in expected], stored)",
                 "    )",
             ]
         )
+    else:
+        body.extend(
+            [
+                "    expected = execute_with_config(db, BASELINE_PLAN, DEFAULT_CONFIG).rows",
+                "    actual = execute_with_config(db, FAILING_PLAN, CONFIG).rows",
+                "    assert canonical_rows(actual) == canonical_rows(expected), (",
+                "        describe_mismatch(expected, actual)",
+                "    )",
+            ]
+        )
+        order = tuple(guaranteed_order(failing_plan))
+        if order:
+            body.extend(
+                [
+                    f"    declared_order = {order!r}",
+                    "    assert is_sorted_on(actual, FAILING_PLAN.schema, declared_order), (",
+                    '        f"rows violate the declared order {declared_order}"',
+                    "    )",
+                ]
+            )
     parts.append("\n".join(body))
     parts.append("")
     return "\n".join(parts)

@@ -40,8 +40,11 @@ from repro.errors import PlanError, SchemaError
 from repro.optimizer.physical import validate_plan
 from repro.workloads.generator import (
     RandomRelationSpec,
+    UpdateBatch,
+    UpdateStreamSpec,
     _WORDS,
     generate_relation_rows,
+    generate_update_stream,
     random_relation_spec,
 )
 
@@ -67,6 +70,10 @@ class FuzzCase:
     plan: Operator
     seed: int
     index: int = 0
+    #: Seeded update batches against the first table (the mutate-then-
+    #: refresh axis): drawn from a *separate* rng stream, so cases with
+    #: and without the axis share the same queries and data.
+    updates: tuple[UpdateBatch, ...] = ()
 
     def build_db(self) -> MiniDB:
         """A fresh MiniDB with this case's tables loaded and analyzed."""
@@ -77,11 +84,23 @@ class FuzzCase:
             db.analyze(spec.name)
         return db
 
+    @property
+    def update_table(self) -> str | None:
+        """The table the update batches target (the first one)."""
+        return self.tables[0].name if self.updates else None
+
     def describe(self) -> str:
         tables = ", ".join(
             f"{spec.name}({spec.cardinality} rows)" for spec in self.tables
         )
-        return f"case seed={self.seed} index={self.index} over {tables}:\n{self.plan.pretty()}"
+        text = f"case seed={self.seed} index={self.index} over {tables}:\n{self.plan.pretty()}"
+        if self.updates:
+            churn = sum(batch.rows for batch in self.updates)
+            text += (
+                f"\nupdates: {len(self.updates)} batch(es), {churn} rows "
+                f"against {self.update_table}"
+            )
+        return text
 
 
 class QueryGenerator:
@@ -93,11 +112,13 @@ class QueryGenerator:
         max_tables: int = 2,
         max_operators: int = 7,
         max_rows: int = 40,
+        updates: bool = True,
     ):
         self.seed = seed
         self.max_tables = max_tables
         self.max_operators = max_operators
         self.max_rows = max_rows
+        self.updates = updates
 
     def case(self, index: int) -> FuzzCase:
         """The *index*-th case of this seed's stream (deterministic)."""
@@ -109,7 +130,34 @@ class QueryGenerator:
         )
         plan = TransferM(self._tree(rng, tables, self.max_operators - 1))
         validate_plan(plan)
-        return FuzzCase(tables=tables, plan=plan, seed=self.seed, index=index)
+        return FuzzCase(
+            tables=tables,
+            plan=plan,
+            seed=self.seed,
+            index=index,
+            updates=self._updates(index, tables),
+        )
+
+    def _updates(
+        self, index: int, tables: tuple[RandomRelationSpec, ...]
+    ) -> tuple[UpdateBatch, ...]:
+        """Seeded update batches against the first table.
+
+        Drawn from a stream keyed separately from the case stream, so the
+        queries and relations of ``(seed, index)`` are identical whether
+        or not the update axis is on — existing shrunk reproducers stay
+        stable.
+        """
+        if not self.updates:
+            return ()
+        rng = random.Random(f"repro.fuzz.updates:{self.seed}:{index}")
+        stream = UpdateStreamSpec(
+            batches=rng.randint(1, 2),
+            churn=rng.choice((0.1, 0.3, 0.6)),
+            insert_fraction=rng.choice((0.0, 0.5, 1.0)),
+            seed=rng.randrange(2**31),
+        )
+        return tuple(generate_update_stream(tables[0], stream))
 
     def cases(self, count: int, start: int = 0):
         for index in range(start, start + count):

@@ -65,12 +65,17 @@ class FuzzHarness:
     #: Cross adaptive execution (cardinality learning + mid-query
     #: re-optimization) into the oracle's configuration matrix.
     adaptive_axis: bool = True
+    #: Generate mutate-then-refresh cases and check materialized-view
+    #: incremental refresh against a scratch recomputation.
+    updates_axis: bool = True
 
     def run(self) -> FuzzReport:
         began = time.perf_counter()
-        generator = QueryGenerator(seed=self.seed)
+        generator = QueryGenerator(seed=self.seed, updates=self.updates_axis)
         oracle = Oracle(
-            columnar_axis=self.columnar_axis, adaptive_axis=self.adaptive_axis
+            columnar_axis=self.columnar_axis,
+            adaptive_axis=self.adaptive_axis,
+            updates_axis=self.updates_axis,
         )
         rng = random.Random(f"repro.fuzz.harness:{self.seed}")
         report = FuzzReport(seed=self.seed, budget=self.budget)

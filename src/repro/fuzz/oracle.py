@@ -41,7 +41,7 @@ from repro.algebra.properties import guaranteed_order
 from repro.core.tango import QueryResult, Tango, TangoConfig
 from repro.dbms.database import MiniDB
 from repro.dbms.jdbc import Connection
-from repro.errors import OptimizerError, ReproError
+from repro.errors import DatabaseError, OptimizerError, ReproError
 from repro.fuzz.compare import canonical_rows, describe_mismatch, is_sorted_on
 from repro.fuzz.generator import FuzzCase
 from repro.optimizer.rules import Rule, X1MoveCoalesce, default_rules
@@ -232,6 +232,10 @@ class Oracle:
     #: re-optimization) into the matrix: spliced plans must stay
     #: plan-equivalent and leak no temp tables.
     adaptive_axis: bool = True
+    #: Run each case's mutate-then-refresh check: materialize the query as
+    #: a view, apply the case's update batches, refresh incrementally, and
+    #: compare against a from-scratch recompute (the ground truth).
+    updates_axis: bool = True
     #: Total plan executions performed so far (the harness budget unit).
     executions: int = field(default=0, init=False)
 
@@ -263,6 +267,17 @@ class Oracle:
             failure = self._check_one(db, case, strategy, plan, config, baseline)
             if failure is not None:
                 return failure
+
+        if self.updates_axis and case.updates:
+            # A fresh database: the view dance mutates base tables.
+            violation = self._probe_updates(
+                case.build_db(), case.plan, case.updates, case.update_table
+            )
+            if violation is not None:
+                kind, message, _baseline_plan, failing_plan = violation
+                return FailureReport(
+                    case, ("updates",), failing_plan, DEFAULT_CONFIG, kind, message
+                )
         return None
 
     def probe(
@@ -271,14 +286,20 @@ class Oracle:
         initial_plan: Operator,
         strategy: Strategy,
         config: ExecConfig,
+        updates: tuple = (),
+        update_table: str | None = None,
     ):
         """Re-check one (initial plan, strategy, config) point.
 
         The shrinker's fitness function: returns ``(kind, message,
         baseline_plan, failing_plan)`` when the point still fails, None
         when it passes (or the strategy no longer derives a plan — a
-        shrink step that kills the derivation is a step too far).
+        shrink step that kills the derivation is a step too far).  The
+        ``("updates",)`` strategy replays *updates* through the view
+        machinery instead of deriving an alternative plan.
         """
+        if strategy and strategy[0] == "updates":
+            return self._probe_updates(db, initial_plan, updates, update_table)
         baseline_plan = derive_alternative(db, initial_plan, ("baseline",))
         if baseline_plan is None:
             return None
@@ -299,6 +320,50 @@ class Oracle:
         if failure is None:
             return None
         return failure.kind, failure.message, baseline_plan, alternative
+
+    # -- the update axis ---------------------------------------------------------------
+
+    def _probe_updates(self, db, initial_plan, updates, update_table):
+        """One mutate-then-refresh check; the ground truth is a scratch
+        recompute of the view's defining plan over the updated tables.
+
+        Returns ``(kind, message, baseline_plan, failing_plan)`` or None.
+        An update batch that no longer replays (a shrink step removed the
+        rows it deletes, or the table itself) is a pass — the shrinker
+        must respect the stream's data dependencies, not report them.
+        """
+        if not updates or update_table is None:
+            return None
+        tango = Tango(db, config=ExecConfig().tango_config())
+        self.executions += 1
+        try:
+            tango.create_view("FUZZVIEW", initial_plan)
+            for batch in updates:
+                tango.apply_updates(update_table, batch.inserts, batch.deletes)
+            tango.refresh_view("FUZZVIEW", strategy="incremental")
+            stored = list(db.table("FUZZVIEW").rows)
+            scratch = tango.execute_plan(tango.optimize(initial_plan).plan)
+            expected = canonical_rows(scratch.rows)
+        except DatabaseError:
+            return None
+        except ReproError as error:
+            return (
+                "execution-error",
+                f"view refresh: {type(error).__name__}: {error}",
+                initial_plan,
+                initial_plan,
+            )
+        finally:
+            tango.close()
+            db.drop_table("FUZZVIEW", if_exists=True)
+        if stored != expected:
+            return (
+                "view-refresh-mismatch",
+                describe_mismatch([tuple(row) for row in expected], stored),
+                initial_plan,
+                initial_plan,
+            )
+        return None
 
     # -- alternative enumeration -------------------------------------------------------
 

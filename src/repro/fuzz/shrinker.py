@@ -57,6 +57,10 @@ class ShrunkCase:
     message: str
     #: Oracle executions the reduction spent.
     probes: int = 0
+    #: Update batches of an ``("updates",)`` failure (shrunk alongside).
+    updates: tuple = ()
+    #: The table those batches target.
+    update_table: str | None = None
 
     @property
     def operator_count(self) -> int:
@@ -71,12 +75,19 @@ class ShrunkCase:
         tables = ", ".join(
             f"{table.name}({len(table.rows)} rows)" for table in self.tables
         )
-        return (
+        text = (
             f"[{self.kind}] strategy={self.strategy} config={self.config}\n"
             f"tables: {tables}\n"
             f"initial plan ({self.operator_count} operators):\n"
             f"{self.initial_plan.pretty()}"
         )
+        if self.updates:
+            rows = sum(batch.rows for batch in self.updates)
+            text += (
+                f"\nupdates: {len(self.updates)} batch(es), {rows} rows "
+                f"against {self.update_table}"
+            )
+        return text
 
     def to_pytest(self, test_name: str = "test_fuzz_reproducer") -> str:
         return emit_pytest(
@@ -88,6 +99,8 @@ class ShrunkCase:
             self.message,
             self.strategy,
             test_name=test_name,
+            updates=self.updates,
+            update_table=self.update_table,
         )
 
 
@@ -110,6 +123,8 @@ class Shrinker:
         config = failure.config
         strategy = failure.strategy
         self._probes = 0
+        self._updates = tuple(failure.case.updates)
+        self._update_table = failure.case.update_table
         # The original failure is the fallback witness; a fresh probe
         # replaces it with one that carries the derived baseline plan.
         witness = (failure.kind, failure.message, failure.plan, failure.plan)
@@ -127,12 +142,15 @@ class Shrinker:
             plan, shrunk = self._shrink_plan(tables, plan, strategy, config)
             if shrunk:
                 changed = True
+            if self._shrink_updates(tables, plan, strategy, config):
+                changed = True
         tables = self._prune_tables(plan, tables)
         # One final probe pins the witness to the fully shrunk case.
         final = self._probe(tables, plan, strategy, config)
         if final is not None:
             witness = final
         kind, message, baseline_plan, failing_plan = witness
+        carries_updates = bool(strategy) and strategy[0] == "updates"
         return ShrunkCase(
             tables=tables,
             initial_plan=plan,
@@ -143,6 +161,8 @@ class Shrinker:
             kind=kind,
             message=message,
             probes=self._probes,
+            updates=self._updates if carries_updates else (),
+            update_table=self._update_table if carries_updates else None,
         )
 
     # -- probing -----------------------------------------------------------------------
@@ -157,7 +177,14 @@ class Shrinker:
             db.table(table.name).bulk_load(list(table.rows))
             db.analyze(table.name)
         try:
-            return self.oracle.probe(db, plan, strategy, config)
+            return self.oracle.probe(
+                db,
+                plan,
+                strategy,
+                config,
+                updates=self._updates,
+                update_table=self._update_table,
+            )
         except ReproError:
             return None
 
@@ -225,6 +252,65 @@ class Shrinker:
                     break
                 granularity = min(len(rows), granularity * 2)
         return rows
+
+    def _shrink_updates(self, tables, plan, strategy, config) -> bool:
+        """Reduce the update stream of an ``("updates",)`` failure.
+
+        First drop whole batches, then ddmin the insert and delete lists
+        within each surviving batch.  Candidates are evaluated by swapping
+        ``self._updates`` (which :meth:`_probe` forwards to the oracle) —
+        a candidate that breaks delete replay simply probes as passing and
+        is rejected, so data dependencies shrink away safely.
+        """
+        if not self._updates or not strategy or strategy[0] != "updates":
+            return False
+        changed = False
+
+        def still_fails(candidate):
+            previous = self._updates
+            self._updates = tuple(candidate)
+            try:
+                return self._probe(tables, plan, strategy, config) is not None
+            finally:
+                self._updates = previous
+
+        batches = list(self._updates)
+        position = 0
+        while len(batches) > 1 and position < len(batches):
+            if self._probes >= self.max_probes:
+                break
+            candidate = batches[:position] + batches[position + 1:]
+            if still_fails(candidate):
+                batches = candidate
+                changed = True
+            else:
+                position += 1
+
+        for position, batch in enumerate(batches):
+            for side in ("inserts", "deletes"):
+                rows = list(getattr(batch, side))
+                if len(rows) < 2 or self._probes >= self.max_probes:
+                    continue
+
+                def rows_fail(candidate_rows, position=position, side=side):
+                    trimmed = replace(
+                        batches[position], **{side: tuple(candidate_rows)}
+                    )
+                    return still_fails(
+                        batches[:position] + [trimmed] + batches[position + 1:]
+                    )
+
+                shrunk = self._ddmin_rows(rows, rows_fail)
+                if len(shrunk) < len(rows):
+                    batches[position] = replace(
+                        batches[position], **{side: tuple(shrunk)}
+                    )
+                    batch = batches[position]
+                    changed = True
+
+        if changed:
+            self._updates = tuple(batches)
+        return changed
 
     def _shrink_plan(self, tables, plan, strategy, config):
         changed = False

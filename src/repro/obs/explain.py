@@ -92,6 +92,8 @@ class ExplainAnalyzeReport:
     reoptimize_threshold: float = 0.0
     #: True when the executed plan was re-optimized mid-query.
     reoptimized: bool = False
+    #: Optional headline above the table — e.g. a view refresh decision.
+    banner: str | None = None
 
     def __iter__(self):
         return iter(self.operators)
@@ -107,6 +109,7 @@ class ExplainAnalyzeReport:
             "result_rows": self.result_rows,
             "reoptimize_threshold": self.reoptimize_threshold,
             "reoptimized": self.reoptimized,
+            "banner": self.banner,
             "trace": self.trace.to_dict(),
         }
 
@@ -116,6 +119,8 @@ class ExplainAnalyzeReport:
             f"{'q-err':>8} {'batches':>8} {'est us':>12} {'act us':>12}"
         )
         lines = [header, "-" * len(header)]
+        if self.banner:
+            lines.insert(0, self.banner)
         for m in self.operators:
             label = "  " * m.depth + m.algorithm
             if m.operator:

@@ -1,0 +1,39 @@
+"""Materialized temporal views with cost-based incremental maintenance.
+
+See :mod:`repro.views.manager` for the registry / refresh chooser and
+:mod:`repro.views.delta` for the delta algebra.  The facade entry points
+are ``Tango.create_view`` / ``Tango.apply_updates`` /
+``Tango.refresh_view``.
+"""
+
+from repro.views.delta import (
+    Delta,
+    DeltaMismatch,
+    DeltaState,
+    DeltaUnsupported,
+    apply_delta_rows,
+    compute_delta,
+    net_delta,
+)
+from repro.views.manager import (
+    REFRESH_OVERHEAD_US,
+    MaterializedView,
+    RefreshDecision,
+    RefreshOutcome,
+    ViewManager,
+)
+
+__all__ = [
+    "Delta",
+    "DeltaMismatch",
+    "DeltaState",
+    "DeltaUnsupported",
+    "MaterializedView",
+    "REFRESH_OVERHEAD_US",
+    "RefreshDecision",
+    "RefreshOutcome",
+    "ViewManager",
+    "apply_delta_rows",
+    "compute_delta",
+    "net_delta",
+]

@@ -10,6 +10,7 @@ fuzzer.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.algebra.schema import Attribute, AttrType, Schema
@@ -172,3 +173,82 @@ def generate_relation_rows(spec: RandomRelationSpec) -> list[tuple]:
         )
         rows.append(values + (start, start + duration))
     return rows
+
+
+# -- seeded update streams (the churn dimension of UIS workloads) ----------------------
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One step of an update stream: rows to insert and rows to delete.
+
+    Deletes always reference rows live in the relation at the time the
+    batch is applied (the generator tracks the live multiset), so a batch
+    sequence replays cleanly through ``Tango.apply_updates``.
+    """
+
+    inserts: tuple[tuple, ...]
+    deletes: tuple[tuple, ...]
+
+    @property
+    def rows(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass(frozen=True)
+class UpdateStreamSpec:
+    """Parameters of a seeded update stream over one relation.
+
+    ``churn`` is the fraction of the relation's *current* cardinality
+    touched per batch (inserts plus deletes); ``insert_fraction`` splits
+    that churn between inserts and deletes.  The UIS shape of the new rows
+    (key skew, period window) comes from the relation spec itself.
+    """
+
+    batches: int = 4
+    churn: float = 0.1
+    insert_fraction: float = 0.5
+    seed: int = 0
+
+
+def generate_update_stream(
+    relation: RandomRelationSpec, stream: UpdateStreamSpec
+) -> list[UpdateBatch]:
+    """Deterministic update batches for *relation* (per stream seed).
+
+    The generator simulates the live multiset: it starts from the
+    relation's generated rows, samples each batch's deletes from the rows
+    still live, draws fresh UIS-shaped inserts, and applies the batch
+    before generating the next — so replaying the batches in order against
+    the freshly-loaded relation is always valid.
+    """
+    rng = random.Random(f"repro.workloads.updates:{stream.seed}:{relation.name}")
+    live = list(generate_relation_rows(relation))
+    batches: list[UpdateBatch] = []
+    for _ in range(stream.batches):
+        touched = max(1, round(stream.churn * max(1, len(live))))
+        insert_count = round(touched * stream.insert_fraction)
+        delete_count = min(touched - insert_count, len(live))
+        deletes = rng.sample(live, delete_count) if delete_count else []
+        inserts: list[tuple] = []
+        for _ in range(insert_count):
+            duration = rng.randint(relation.min_duration, relation.max_duration)
+            latest_start = max(
+                relation.window_start, relation.window_end - duration
+            )
+            start = rng.randint(relation.window_start, latest_start)
+            values = tuple(
+                _random_value(rng, column, relation.skew)
+                for column in relation.columns
+            )
+            inserts.append(values + (start, start + duration))
+        removal = Counter(deletes)
+        survivors: list[tuple] = []
+        for row in live:
+            if removal.get(row, 0) > 0:
+                removal[row] -= 1
+            else:
+                survivors.append(row)
+        live = survivors + inserts
+        batches.append(UpdateBatch(tuple(inserts), tuple(deletes)))
+    return batches

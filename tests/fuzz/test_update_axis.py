@@ -1,0 +1,147 @@
+"""The mutate-then-refresh axis catches a broken incremental refresh.
+
+Acceptance for the update axis: sabotage the delta merge (drop the first
+inserted row), let the oracle catch the view/scratch divergence, shrink
+the update stream down to the one insert that matters, and emit a pytest
+reproducer that compiles and fails on its own.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.operators import Location, Scan, Select, TransferM
+from repro.algebra.expressions import ColumnRef, Comparison, Literal
+from repro.algebra.schema import AttrType
+from repro.fuzz.generator import FuzzCase, QueryGenerator
+from repro.fuzz.oracle import DEFAULT_CONFIG, Oracle
+from repro.fuzz.shrinker import Shrinker
+from repro.views.delta import Delta, apply_delta_rows
+from repro.workloads.generator import ColumnSpec, RandomRelationSpec, UpdateBatch
+
+
+@pytest.fixture
+def lossy_delta(monkeypatch):
+    """A delta merge that silently drops the first inserted row."""
+
+    def lossy(stored, delta):
+        if delta.inserts:
+            delta = Delta(list(delta.inserts[1:]), list(delta.deletes))
+        return apply_delta_rows(stored, delta)
+
+    monkeypatch.setattr("repro.views.manager.apply_delta_rows", lossy)
+
+
+def _update_case() -> FuzzCase:
+    spec = RandomRelationSpec(
+        name="R0",
+        columns=(ColumnSpec("K0", AttrType.INT, distinct=4),),
+        cardinality=10,
+        window_start=60000,
+        window_end=60090,
+        skew=0.0,
+        seed=11,
+    )
+    plan = TransferM(
+        Select(
+            Scan("R0", spec.schema),
+            Location.DBMS,
+            Comparison(">=", ColumnRef("K0"), Literal(0)),
+        )
+    )
+    inserts = ((1, 60001, 60005), (2, 60002, 60006), (3, 60003, 60007))
+    return FuzzCase(
+        tables=(spec,),
+        plan=plan,
+        seed=0,
+        index=0,
+        updates=(UpdateBatch(inserts=inserts, deletes=()),),
+    )
+
+
+def _quiet_oracle() -> Oracle:
+    """Only the update probe: no alternatives, no config matrix."""
+    return Oracle(top_k=0, rule_samples=0, config_samples=0)
+
+
+def test_broken_delta_merge_is_caught(lossy_delta):
+    failure = _quiet_oracle().check_case(_update_case(), random.Random(0))
+    assert failure is not None, "the oracle must catch the dropped insert"
+    assert failure.kind == "view-refresh-mismatch"
+    assert failure.strategy == ("updates",)
+
+
+def test_update_stream_shrinks_to_one_insert(lossy_delta):
+    failure = _quiet_oracle().check_case(_update_case(), random.Random(0))
+    assert failure is not None
+    shrunk = Shrinker(oracle=_quiet_oracle()).shrink(failure)
+    assert shrunk.strategy == ("updates",)
+    assert shrunk.update_table == "R0"
+    assert len(shrunk.updates) == 1
+    # Any single insert reproduces the bug; ddmin must find that.
+    assert len(shrunk.updates[0].inserts) == 1
+    assert shrunk.updates[0].deletes == ()
+
+
+def test_emitted_update_reproducer_compiles_and_fails(lossy_delta):
+    failure = _quiet_oracle().check_case(_update_case(), random.Random(0))
+    assert failure is not None
+    shrunk = Shrinker(oracle=_quiet_oracle()).shrink(failure)
+
+    source = shrunk.to_pytest(test_name="test_emitted_update_reproducer")
+    assert "UPDATE_BATCHES" in source
+    compiled = compile(source, "<emitted reproducer>", "exec")
+    namespace: dict = {"__name__": "emitted_reproducer"}
+    exec(compiled, namespace)
+    with pytest.raises(AssertionError):
+        namespace["test_emitted_update_reproducer"]()
+
+
+def test_healthy_delta_passes_the_axis():
+    failure = _quiet_oracle().check_case(_update_case(), random.Random(0))
+    assert failure is None
+
+
+def test_unreplayable_stream_probes_as_pass():
+    case = _update_case()
+    bad = (UpdateBatch(inserts=(), deletes=(("no-such", -1, -2),)),)
+    result = _quiet_oracle().probe(
+        case.build_db(),
+        case.plan,
+        ("updates",),
+        DEFAULT_CONFIG,
+        updates=bad,
+        update_table="R0",
+    )
+    assert result is None
+
+
+def test_generator_updates_are_deterministic_and_optional():
+    with_axis = QueryGenerator(seed=0)
+    again = QueryGenerator(seed=0)
+    without = QueryGenerator(seed=0, updates=False)
+    for index in range(5):
+        case = with_axis.case(index)
+        assert case.updates == again.case(index).updates
+        assert case.updates
+        assert case.update_table == case.tables[0].name
+        bare = without.case(index)
+        assert bare.updates == ()
+        assert bare.update_table is None
+        # The axis draws from its own rng stream: queries and data match.
+        assert bare.plan == case.plan
+        assert bare.tables == case.tables
+
+
+def test_oracle_opt_out_skips_the_probe(monkeypatch):
+    calls = []
+    monkeypatch.setattr(
+        Oracle,
+        "_probe_updates",
+        lambda self, *args, **kwargs: calls.append(1),
+    )
+    oracle = Oracle(top_k=0, rule_samples=0, config_samples=0, updates_axis=False)
+    assert oracle.check_case(_update_case(), random.Random(0)) is None
+    assert calls == []

@@ -83,3 +83,56 @@ class TestCacheInvalidation:
         tango.optimize(queries.query1_sql())
         assert tango.metrics.value("optimizer_runs") == 2
         assert tango.metrics.value("plan_cache_hits") == 0
+
+
+class TestUpdateInvalidation:
+    """apply_updates moves both epochs the cache keys on (ISSUE 10
+    satellite 4): the statistics epoch (PR 2 cache) and the feedback
+    epoch (PR 8 learned cardinalities)."""
+
+    @pytest.fixture
+    def learning_tango(self, figure3_db):
+        return Tango(figure3_db, TangoConfig(learn_cardinalities=True))
+
+    def test_apply_updates_invalidates_cached_plans(self, learning_tango):
+        tango = learning_tango
+        first = tango.optimize(queries.query1_sql())
+        assert tango.optimize(queries.query1_sql()) is first
+        assert tango.metrics.value("plan_cache_hits") == 1
+        stats_epoch = tango.collector.epoch
+
+        doomed = tango.db.table("POSITION").rows[0]
+        tango.apply_updates("POSITION", deletes=[doomed])
+
+        assert tango.collector.epoch > stats_epoch
+        tango.optimize(queries.query1_sql())
+        assert tango.metrics.value("optimizer_runs") == 2
+        assert tango.metrics.value("plan_cache_hits") == 1
+
+    def test_apply_updates_moves_the_feedback_epoch(self, learning_tango):
+        tango = learning_tango
+        # Execute once so the feedback store learns cardinalities that
+        # read POSITION.
+        tango.query(queries.query1_sql())
+        assert len(tango.feedback_store) > 0
+        feedback_epoch = tango.feedback_store.epoch
+
+        doomed = tango.db.table("POSITION").rows[0]
+        result = tango.apply_updates("POSITION", deletes=[doomed])
+
+        assert result["feedback_invalidated"] > 0
+        assert tango.feedback_store.epoch > feedback_epoch
+        # Every learned entry read POSITION; all must be gone.
+        assert len(tango.feedback_store) == 0
+
+    def test_view_refresh_moves_the_statistics_epoch(self, learning_tango):
+        tango = learning_tango
+        tango.create_view("VQ1", queries.query1_sql())
+        tango.apply_updates(
+            "POSITION", deletes=[tango.db.table("POSITION").rows[0]]
+        )
+        epoch = tango.collector.epoch
+        tango.refresh_view("VQ1")
+        # The refresh rewrote the view table: plans cached over it are
+        # stale, so the epoch must move again.
+        assert tango.collector.epoch > epoch
